@@ -1,0 +1,57 @@
+"""§3.2 construction-complexity check: build cost scales ~linearly in n.
+
+"The number of insertions to Bloom filters that we perform is equal to the
+size of a binary trie containing the keys, which is upper bounded by
+n · L" — i.e. construction is near-linear in the key count.  This bench
+builds Rosetta (and SuRF, whose trie build is also linear) at increasing
+key counts and asserts the growth stays clearly sub-quadratic.
+"""
+
+import time
+
+from repro.bench.factories import make_factory
+from repro.bench.report import emit
+from repro.workloads.keygen import generate_dataset
+
+_SIZES = (4_000, 8_000, 16_000, 32_000)
+
+
+def _build_time(name: str, num_keys: int) -> float:
+    dataset = generate_dataset(num_keys, 64, seed=411)
+    keys = [int(k) for k in dataset.keys]
+    factory = make_factory(name, 64, 18, max_range=64)
+    start = time.perf_counter()
+    factory.build(keys)
+    return time.perf_counter() - start
+
+
+def test_construction_scales_linearly(benchmark):
+    def run():
+        rows = []
+        for name in ("rosetta", "surf"):
+            times = [_build_time(name, n) for n in _SIZES]
+            for n, seconds in zip(_SIZES, times):
+                rows.append((name, n, seconds, seconds * 1e6 / n))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("§3.2 — construction cost vs key count",
+         ("filter", "keys", "build_s", "us_per_key"), rows)
+
+    for name in ("rosetta", "surf"):
+        series = [(r[1], r[2]) for r in rows if r[0] == name]
+        n_small, t_small = series[0]
+        n_large, t_large = series[-1]
+        growth = t_large / max(t_small, 1e-9)
+        size_ratio = n_large / n_small  # 8x
+        # Linear would be ~8x; quadratic ~64x. Allow generous slack for
+        # constant overheads but reject super-linear blowup.
+        assert growth < size_ratio * 3, (
+            f"{name} construction grew {growth:.1f}x over a "
+            f"{size_ratio:.0f}x size increase"
+        )
+
+    # Per-key cost stays the same order of magnitude across sizes.
+    for name in ("rosetta", "surf"):
+        per_key = [r[3] for r in rows if r[0] == name]
+        assert max(per_key) < 10 * max(min(per_key), 1e-9)

@@ -1,0 +1,140 @@
+"""Fig. 5 — end-to-end performance of the filter-integrated store.
+
+Regenerates all four panels:
+
+* (A1) total latency and its I/O / CPU split vs range size (uniform);
+* (A2) the CPU sub-costs: filter probe, (de)serialization, residual seek;
+* (A3) FPR vs range size, Rosetta vs SuRF;
+* (B)  correlated workload (θ = 1);
+* (C)  skewed (normal) key distribution;
+* (D)  default-RocksDB baselines (Prefix Bloom, fence pointers only).
+
+Shape assertions encode the paper's findings: Rosetta's FPR advantage at
+short/medium ranges translates into less I/O and lower end-to-end latency,
+and the filter probe cost stays a minority of total cost.
+"""
+
+import shutil
+import tempfile
+
+from repro.bench.endtoend import load_database
+from repro.bench.experiments import Scale, fig5_endtoend
+from repro.bench.factories import make_factory
+from repro.bench.report import emit
+from repro.lsm.options import DBOptions
+from repro.workloads.keygen import generate_dataset
+from repro.workloads.ycsb import WorkloadBuilder
+
+_RANGE_SIZES = (2, 8, 16, 32, 64)
+
+
+def _small_scale(scale: Scale) -> Scale:
+    # End-to-end runs reload the store per point; keep them affordable.
+    return Scale(
+        num_keys=max(2000, scale.num_keys // 2),
+        num_queries=max(60, scale.num_queries // 2),
+    )
+
+
+def test_fig5_a_uniform(benchmark, scale):
+    """Panels A1-A3: uniform workload breakdown + FPR."""
+    headers, rows = benchmark.pedantic(
+        fig5_endtoend,
+        kwargs={"scale": _small_scale(scale), "workload": "uniform",
+                "range_sizes": _RANGE_SIZES},
+        rounds=1, iterations=1,
+    )
+    emit("Fig. 5(A1-A3) — uniform workload, end-to-end breakdown",
+         headers, rows)
+    cells = {(r[0], r[1]): r for r in rows}
+    # (A1) Rosetta wins or ties short/medium ranges end to end.
+    for range_size in (2, 8, 16):
+        assert (
+            cells[("rosetta", range_size)][2]
+            <= cells[("surf", range_size)][2] * 1.2
+        )
+    # (A2) probe cost is a strict minority of total end-to-end cost.
+    for row in rows:
+        if row[0] == "rosetta":
+            assert row[5] < row[2]
+    # (A3) FPR gap at every range size.
+    for range_size in _RANGE_SIZES:
+        assert (
+            cells[("rosetta", range_size)][9]
+            <= cells[("surf", range_size)][9] + 0.02
+        )
+
+
+def test_fig5_b_correlated(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        fig5_endtoend,
+        kwargs={"scale": _small_scale(scale), "workload": "correlated",
+                "range_sizes": (8, 32)},
+        rounds=1, iterations=1,
+    )
+    emit("Fig. 5(B) — correlated workload (theta=1)", headers, rows)
+    cells = {(r[0], r[1]): r for r in rows}
+    for range_size in (8, 32):
+        # SuRF's culled prefixes cannot reject next-key queries.
+        assert cells[("surf", range_size)][9] > 0.5
+        assert (
+            cells[("rosetta", range_size)][9]
+            < cells[("surf", range_size)][9]
+        )
+
+
+def test_fig5_c_skewed(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        fig5_endtoend,
+        kwargs={"scale": _small_scale(scale), "workload": "skewed",
+                "range_sizes": (8, 32)},
+        rounds=1, iterations=1,
+    )
+    emit("Fig. 5(C) — skewed (normal) key distribution", headers, rows)
+    cells = {(r[0], r[1]): r for r in rows}
+    for range_size in (8, 32):
+        assert (
+            cells[("rosetta", range_size)][9]
+            <= cells[("surf", range_size)][9] + 0.02
+        )
+
+
+def test_fig5_d_default_rocksdb_baselines(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        fig5_endtoend,
+        kwargs={"scale": _small_scale(scale),
+                "filters": ("rosetta", "surf", "prefix-bloom", "fence"),
+                "range_sizes": (8, 32)},
+        rounds=1, iterations=1,
+    )
+    emit("Fig. 5(D) — vs default RocksDB (Prefix Bloom / fence only)",
+         headers, rows)
+    cells = {(r[0], r[1]): r for r in rows}
+    for range_size in (8, 32):
+        rosetta_io = cells[("rosetta", range_size)][3]
+        fence_io = cells[("fence", range_size)][3]
+        assert fence_io > rosetta_io * 5  # the "up to 40x" direction
+        assert cells[("fence", range_size)][9] == 1.0
+
+
+def test_benchmark_empty_range_query(benchmark, scale):
+    """Timing anchor: one empty range query through the full store."""
+    dataset = generate_dataset(5000, 64, seed=151, value_size=32)
+    keys = [int(k) for k in dataset.keys]
+    factory = make_factory("rosetta", 64, 22, max_range=64,
+                           range_size_histogram={16: 1})
+    options = DBOptions(
+        key_bits=64, memtable_size_bytes=32 << 10, sst_size_bytes=128 << 10,
+        max_bytes_for_level_base=512 << 10, device="memory",
+    )
+    path = tempfile.mkdtemp(prefix="repro-bench5-")
+    try:
+        options.filter_factory = factory
+        db = load_database(path, dataset, factory, options)
+        query = WorkloadBuilder(keys, 64, seed=152).empty_range_queries(
+            1, 16
+        ).queries[0]
+        benchmark(db.range_query, query.low, query.high)
+        db.close()
+    finally:
+        shutil.rmtree(path, ignore_errors=True)

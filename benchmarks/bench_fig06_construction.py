@@ -1,0 +1,68 @@
+"""Fig. 6 — filter construction cost and write-path overhead.
+
+* (A) construction cost isolated from compaction (huge L0 trigger),
+  varying SST size and hence the number of filter instances — Rosetta's
+  dense Bloom arrays build faster than SuRF's trie;
+* (B) full write path with live compactions: read/write cost split and the
+  ``T/(R+W)`` compaction-overhead metric.
+"""
+
+from repro.bench.experiments import Scale, fig6_construction, fig6_write_cost
+from repro.bench.factories import make_factory
+from repro.bench.report import emit
+from repro.workloads.keygen import generate_dataset
+
+
+def _small_scale(scale: Scale) -> Scale:
+    return Scale(num_keys=max(2000, scale.num_keys // 2),
+                 num_queries=max(50, scale.num_queries // 3))
+
+
+def test_fig6_a_construction(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        fig6_construction, args=(_small_scale(scale),), rounds=1, iterations=1
+    )
+    emit("Fig. 6(A) — filter construction cost (no compaction)", headers, rows)
+
+    per_filter = {}
+    for row in rows:
+        per_filter.setdefault(row[0], []).append(row[4])
+    # Rosetta builds faster than SuRF (paper: ~14% cheaper; more in Python).
+    assert sum(per_filter["rosetta"]) < sum(per_filter["surf"])
+
+    # Smaller SSTs -> more files (and more filter instances).
+    rosetta_rows = [r for r in rows if r[0] == "rosetta"]
+    files = [r[2] for r in rosetta_rows]
+    assert files == sorted(files, reverse=True)
+
+
+def test_fig6_b_write_cost(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        fig6_write_cost, args=(_small_scale(scale),), rounds=1, iterations=1
+    )
+    emit("Fig. 6(B) — write path with compactions (T/(R+W) overhead)",
+         headers, rows)
+    cells = {r[0]: r for r in rows}
+    # Fence pointers have zero filter-construction cost but pay in reads.
+    assert cells["fence"][3] == 0
+    assert cells["fence"][6] == 1.0  # read FPR
+    assert cells["rosetta"][3] > 0
+    assert cells["rosetta"][6] < cells["fence"][6]
+    # Compaction overhead stays the same order of magnitude across filters.
+    assert cells["rosetta"][4] < cells["surf"][4] * 3
+
+
+def test_benchmark_rosetta_construction(benchmark, scale):
+    """Timing anchor: build one Rosetta over the dataset."""
+    dataset = generate_dataset(_small_scale(scale).num_keys, 64, seed=161)
+    keys = [int(k) for k in dataset.keys]
+    factory = make_factory("rosetta", 64, 22, max_range=64)
+    benchmark.pedantic(factory.build, args=(keys,), rounds=3, iterations=1)
+
+
+def test_benchmark_surf_construction(benchmark, scale):
+    """Timing anchor: build one SuRF over the same dataset."""
+    dataset = generate_dataset(_small_scale(scale).num_keys, 64, seed=161)
+    keys = [int(k) for k in dataset.keys]
+    factory = make_factory("surf", 64, 22)
+    benchmark.pedantic(factory.build, args=(keys,), rounds=3, iterations=1)

@@ -1,0 +1,56 @@
+"""Fig. 7 — point-query FPR vs bits/key for every filter.
+
+The paper's claim: Rosetta processes worst-case point queries as well as a
+point-query-optimized store (its last level indexes full keys, i.e. it *is*
+a Bloom filter for points), while SuRF-Hash/SuRF-Real and Prefix Bloom
+filters degrade badly — forcing stores that use them to either keep two
+filters per run or lose point performance.
+"""
+
+from repro.bench.experiments import fig7_point_queries
+from repro.bench.factories import make_factory
+from repro.bench.report import emit
+from repro.workloads.keygen import generate_dataset
+from repro.workloads.ycsb import WorkloadBuilder
+
+
+def _fpr_by_filter(rows, bits_per_key):
+    return {r[0]: r[3] for r in rows if r[1] == bits_per_key}
+
+
+def test_fig7_regenerate(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        fig7_point_queries, args=(scale,), rounds=1, iterations=1
+    )
+    emit("Fig. 7 — point-query FPR vs bits/key", headers, rows)
+
+    # Rosetta matches the plain Bloom filter at every budget.
+    for bits_per_key in (10, 14, 18):
+        fpr = _fpr_by_filter(rows, bits_per_key)
+        assert fpr["rosetta"] <= fpr["bloom"] + 0.02
+
+    # SuRF variants degrade relative to Rosetta at tight budgets.
+    fpr = _fpr_by_filter(rows, 10)
+    assert fpr["surf-hash"] >= fpr["rosetta"]
+    assert fpr["surf-real"] >= fpr["rosetta"]
+
+    # More memory monotonically helps Rosetta.
+    rosetta = sorted((r[1], r[3]) for r in rows if r[0] == "rosetta")
+    assert rosetta[-1][1] <= rosetta[0][1]
+
+
+def test_benchmark_rosetta_point_probe(benchmark, scale):
+    dataset = generate_dataset(scale.num_keys, 64, seed=171)
+    keys = [int(k) for k in dataset.keys]
+    filt = make_factory("rosetta", 64, 14, max_range=1,
+                        range_size_histogram={1: 1}).build(keys)
+    probe = WorkloadBuilder(keys, 64, seed=172).empty_point_queries(1).queries[0]
+    benchmark(filt.may_contain, probe.low)
+
+
+def test_benchmark_bloom_point_probe(benchmark, scale):
+    dataset = generate_dataset(scale.num_keys, 64, seed=171)
+    keys = [int(k) for k in dataset.keys]
+    filt = make_factory("bloom", 64, 14).build(keys)
+    probe = WorkloadBuilder(keys, 64, seed=172).empty_point_queries(1).queries[0]
+    benchmark(filt.may_contain, probe.low)

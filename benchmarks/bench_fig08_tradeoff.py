@@ -1,0 +1,90 @@
+"""Fig. 8 + Fig. 1 — the FPR-memory tradeoff and the positioning maps.
+
+Sweeps bits/key at the paper's worst case for Rosetta (range 64) across
+uniform, correlated, and skewed workloads (panels A-C, E-G, I-K), then
+derives the decision maps (panels D, H, L) and the Fig. 1 positioning
+summary: who wins each (range size x memory budget) cell.
+"""
+
+from repro.bench.experiments import Scale, decision_map, fig8_tradeoff
+from repro.bench.report import emit
+
+_BPK_SWEEP = (10, 18, 26)
+
+
+def _small_scale(scale: Scale) -> Scale:
+    return Scale(num_keys=max(2000, scale.num_keys // 4),
+                 num_queries=max(60, scale.num_queries // 3))
+
+
+def test_fig8_regenerate(benchmark, scale):
+    """Panels A-L: sweeps for all three workloads + the decision maps."""
+
+    def sweep_all():
+        all_rows = []
+        for workload in ("uniform", "correlated", "skewed"):
+            _, rows = fig8_tradeoff(
+                _small_scale(scale), workload=workload, range_size=64,
+                bits_per_key_sweep=_BPK_SWEEP,
+            )
+            all_rows.extend(rows)
+        return all_rows
+
+    rows = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    headers = ("filter", "workload", "range_size", "bits_per_key",
+               "fpr", "end_to_end_s", "io_s")
+    for workload in ("uniform", "correlated", "skewed"):
+        emit(f"Fig. 8 — {workload} workload, range 64", headers,
+             [r for r in rows if r[1] == workload])
+
+    # Rosetta converts memory into FPR on every workload.
+    for workload in ("uniform", "correlated", "skewed"):
+        fprs = {
+            r[3]: r[4] for r in rows
+            if r[0] == "rosetta" and r[1] == workload
+        }
+        assert fprs[max(_BPK_SWEEP)] <= fprs[min(_BPK_SWEEP)]
+
+    # At 26 bits/key Rosetta's FPR beats SuRF's on every workload.
+    for workload in ("uniform", "correlated", "skewed"):
+        cells = {
+            r[0]: r[4] for r in rows
+            if r[1] == workload and r[3] == max(_BPK_SWEEP)
+        }
+        assert cells["rosetta"] <= cells["surf"] + 0.02
+
+    # Decision maps (panels D, H, L).
+    cells = decision_map(rows)
+    emit(
+        "Fig. 8(D,H,L) — decision map (winner per workload/memory cell)",
+        ("workload", "range", "bits/key", "latency_winner", "fpr_winner"),
+        cells,
+    )
+    assert len(cells) == 3 * len(_BPK_SWEEP)
+    for workload, range_size, bits_per_key, _, fpr_winner in cells:
+        if bits_per_key == max(_BPK_SWEEP):
+            assert fpr_winner == "rosetta"
+
+
+def test_fig1_positioning(benchmark, scale):
+    """Fig. 1: across range sizes, Rosetta dominates short/medium ranges."""
+
+    def sweep_ranges():
+        rows = []
+        for range_size in (8, 64):
+            _, sweep = fig8_tradeoff(
+                _small_scale(scale), range_size=range_size,
+                bits_per_key_sweep=(14, 26),
+            )
+            rows.extend(sweep)
+        return rows
+
+    rows = benchmark.pedantic(sweep_ranges, rounds=1, iterations=1)
+    cells = decision_map(rows)
+    emit(
+        "Fig. 1 — positioning map (range size x memory budget)",
+        ("workload", "range", "bits/key", "latency_winner", "fpr_winner"),
+        cells,
+    )
+    short_range_cells = [c for c in cells if c[1] == 8]
+    assert all(c[4] == "rosetta" for c in short_range_cells)

@@ -1,0 +1,41 @@
+"""Fig. 9 — robustness across the memory hierarchy (RAM / SSD / HDD).
+
+Standalone comparison: Rosetta pays more probe time but, thanks to its
+lower FPR, fewer wasted device reads — and the deeper the storage tier,
+the larger the win.  Device latencies use the inflation-scaled presets so
+the probe:read ratio matches the paper's C++/hardware testbed (see
+``repro.lsm.env.PYTHON_CPU_INFLATION``).
+"""
+
+from repro.bench.experiments import fig9_memory_hierarchy
+from repro.bench.report import emit
+
+
+def _total(rows, filter_name, device):
+    return next(r[5] for r in rows if r[0] == filter_name and r[1] == device)
+
+
+def test_fig9_regenerate(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        fig9_memory_hierarchy, args=(scale,), rounds=1, iterations=1
+    )
+    emit("Fig. 9 — end-to-end latency across the memory hierarchy",
+         headers, rows)
+
+    # Both filters pay probe time; Rosetta pays more (the design tradeoff).
+    rosetta_probe = next(r[3] for r in rows if r[0] == "rosetta")
+    surf_probe = next(r[3] for r in rows if r[0] == "surf")
+    assert rosetta_probe > 0 and surf_probe > 0
+
+    # The FPR advantage dominates once device reads are expensive.
+    for device in ("ssd-scaled", "hdd-scaled"):
+        assert _total(rows, "rosetta", device) < _total(rows, "surf", device)
+
+    # And the gap widens with device cost.
+    ssd_gap = _total(rows, "surf", "ssd-scaled") - _total(
+        rows, "rosetta", "ssd-scaled"
+    )
+    hdd_gap = _total(rows, "surf", "hdd-scaled") - _total(
+        rows, "rosetta", "hdd-scaled"
+    )
+    assert hdd_gap > ssd_gap

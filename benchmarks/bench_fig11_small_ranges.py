@@ -1,0 +1,53 @@
+"""Fig. 11 — the FPR-memory tradeoff at small range sizes.
+
+Fig. 8 fixes range 64 (Rosetta's worst case); Fig. 11 repeats the sweep at
+smaller ranges and finds Rosetta "nearly always better".  We sweep ranges 8
+and 16 across memory budgets and assert Rosetta's dominance.
+"""
+
+from repro.bench.experiments import Scale, decision_map, fig8_tradeoff
+from repro.bench.report import emit
+
+_BPK_SWEEP = (10, 18, 26)
+
+
+def _small_scale(scale: Scale) -> Scale:
+    return Scale(num_keys=max(2000, scale.num_keys // 4),
+                 num_queries=max(60, scale.num_queries // 3))
+
+
+def test_fig11_regenerate(benchmark, scale):
+    def sweep_small_ranges():
+        all_rows = []
+        for range_size in (8, 16):
+            _, rows = fig8_tradeoff(
+                _small_scale(scale), range_size=range_size,
+                bits_per_key_sweep=_BPK_SWEEP,
+            )
+            all_rows.extend(rows)
+        return all_rows
+
+    rows = benchmark.pedantic(sweep_small_ranges, rounds=1, iterations=1)
+    headers = ("filter", "workload", "range_size", "bits_per_key",
+               "fpr", "end_to_end_s", "io_s")
+    for range_size in (8, 16):
+        emit(f"Fig. 11 — range size {range_size}", headers,
+             [r for r in rows if r[2] == range_size])
+
+    # Rosetta is "nearly always better" on FPR.
+    cells = decision_map(rows)
+    fpr_wins = sum(1 for c in cells if c[4] == "rosetta")
+    assert fpr_wins >= len(cells) - 1
+
+    # At >= 18 bits/key and short ranges, Rosetta's FPR is tiny.
+    for row in rows:
+        if row[0] == "rosetta" and row[3] >= 18:
+            assert row[4] < 0.05
+
+    # Within each cell the lower-FPR filter pays no more I/O.
+    grouped = {}
+    for row in rows:
+        grouped.setdefault((row[2], row[3]), {})[row[0]] = row
+    for cell in grouped.values():
+        if cell["rosetta"][4] < cell["surf"][4]:
+            assert cell["rosetta"][6] <= cell["surf"][6] * 1.05

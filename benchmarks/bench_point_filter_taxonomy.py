@@ -1,0 +1,90 @@
+"""The §1 point-filter taxonomy, measured.
+
+The paper's introduction positions Rosetta against the hash-based point
+filters — Bloom [10], Cuckoo [37], Quotient [9] — none of which can filter
+ranges.  This bench measures all of them (plus Rosetta's leaf level, which
+*is* its point filter) on the same keys, workload, and memory budget:
+FPR, probe latency, construction latency, and actual memory.
+
+The claims checked:
+
+* every hash-based filter achieves a low, memory-bound point FPR;
+* Rosetta's point behaviour is exactly Bloom-filter behaviour (§2.2.2);
+* none of the point filters can reject an empty *range* — only Rosetta
+  (and SuRF) can, which is the gap the paper exists to fill.
+"""
+
+from repro.bench.factories import make_factory
+from repro.bench.harness import measure_filter
+from repro.bench.report import emit
+from repro.workloads.keygen import generate_dataset
+from repro.workloads.ycsb import WorkloadBuilder
+
+_POINT_FILTERS = ("bloom", "cuckoo", "quotient", "rosetta")
+_BITS_PER_KEY = 14
+
+
+def test_point_filter_taxonomy(benchmark, scale):
+    def run():
+        dataset = generate_dataset(scale.num_keys, 64, seed=401)
+        keys = [int(k) for k in dataset.keys]
+        builder = WorkloadBuilder(keys, 64, seed=402)
+        points = builder.empty_point_queries(scale.num_queries * 3)
+        rows = []
+        for name in _POINT_FILTERS:
+            factory = make_factory(
+                name, 64, _BITS_PER_KEY, max_range=1,
+                range_size_histogram={1: 1},
+            )
+            m = measure_filter(factory.build, keys, points, name=name)
+            rows.append(
+                (
+                    name,
+                    m.fpr,
+                    m.bits_per_key,
+                    m.probe_micros_per_query,
+                    m.construction_seconds,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        f"§1 taxonomy — point filters at {_BITS_PER_KEY} bits/key",
+        ("filter", "point_fpr", "bits_per_key", "probe_us", "construction_s"),
+        rows,
+    )
+    cells = {r[0]: r for r in rows}
+    # Every hash-based filter: low point FPR at this budget.
+    for name in _POINT_FILTERS:
+        assert cells[name][1] < 0.06, name
+    # Rosetta (max_range=1 == single Bloom level) matches bloom exactly.
+    assert cells["rosetta"][1] == cells["bloom"][1]
+
+
+def test_point_filters_cannot_reject_ranges(benchmark, scale):
+    """The motivating gap: point filters pass every multi-key range."""
+
+    def run():
+        dataset = generate_dataset(max(2000, scale.num_keys // 4), 64,
+                                   seed=403)
+        keys = [int(k) for k in dataset.keys]
+        builder = WorkloadBuilder(keys, 64, seed=404)
+        ranges = builder.empty_range_queries(scale.num_queries // 2, 16)
+        rows = []
+        for name in ("bloom", "cuckoo", "quotient", "rosetta"):
+            factory = make_factory(
+                name, 64, _BITS_PER_KEY, max_range=16,
+                range_size_histogram={16: 1},
+            )
+            m = measure_filter(factory.build, keys, ranges, name=name)
+            rows.append((name, m.fpr))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("§1 taxonomy — empty size-16 ranges against point filters",
+         ("filter", "range_fpr"), rows)
+    cells = dict(rows)
+    for name in ("bloom", "cuckoo", "quotient"):
+        assert cells[name] == 1.0, name  # structurally unable to reject
+    assert cells["rosetta"] < 0.5  # the range filter actually filters

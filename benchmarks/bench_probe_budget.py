@@ -1,0 +1,60 @@
+"""§2.2.3 made explicit: the per-query CPU/FPR knob (probe budgets).
+
+"The basic Rosetta design ... intuitively sacrifices CPU cost during probe
+time to improve on FPR."  The probe-budget extension turns that sacrifice
+into a dial: cap the Bloom probes a query may spend and the filter degrades
+gracefully toward always-positive.  This bench sweeps the budget and checks
+the curve is the tradeoff the paper describes — monotone FPR improvement
+with spent CPU, converging to the unbounded filter's FPR.
+"""
+
+from repro.bench.report import emit
+from repro.core.rosetta import Rosetta
+from repro.workloads.keygen import generate_dataset
+from repro.workloads.ycsb import WorkloadBuilder
+
+_BUDGETS = (1, 2, 4, 8, 16, 32, None)  # None = unbounded
+
+
+def test_probe_budget_tradeoff_curve(benchmark, scale):
+    def run():
+        dataset = generate_dataset(scale.num_keys, 64, seed=421)
+        keys = [int(k) for k in dataset.keys]
+        filt = Rosetta.build(keys, key_bits=64, bits_per_key=16,
+                             max_range=64, strategy="equilibrium")
+        workload = WorkloadBuilder(keys, 64, seed=422).empty_range_queries(
+            scale.num_queries, 32
+        )
+        rows = []
+        for budget in _BUDGETS:
+            filt.stats.reset()
+            positives = sum(
+                filt.may_contain_range(q.low, q.high, probe_budget=budget)
+                for q in workload
+            )
+            rows.append(
+                (
+                    "unbounded" if budget is None else budget,
+                    positives / len(workload),
+                    filt.stats.bloom_probes / len(workload),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("§2.2.3 — probe budget vs FPR (range 32, 16 bits/key)",
+         ("probe_budget", "fpr", "probes/query"), rows)
+
+    fprs = [row[1] for row in rows]
+    probes = [row[2] for row in rows]
+    # More CPU -> (weakly) better FPR along the whole curve.
+    for earlier, later in zip(fprs, fprs[1:]):
+        assert later <= earlier + 0.02
+    # The spend actually grows with the allowance.
+    assert probes[0] <= probes[-1]
+    # Tiny budgets degrade toward always-positive; the unbounded end
+    # reaches the filter's native FPR.
+    assert fprs[0] > 0.9
+    assert fprs[-1] < 0.2
+    # Convergence: a 32-probe budget is within noise of unbounded.
+    assert abs(fprs[-2] - fprs[-1]) < 0.1

@@ -1,0 +1,177 @@
+"""§3 theory validation and design-choice ablations (DESIGN.md §5).
+
+Beyond the figures, the paper makes analytical claims and design choices
+that deserve measurement:
+
+* the 1.44-approximation memory bound and the Goswami lower bound (§3.1);
+* the Catalan-number probe-cost model (§3.2);
+* level pruning by the maximum range size (§3.1, "we may disregard some
+  levels");
+* construction with unique-prefix deduplication (§3.2);
+* §2.2.1 effective-range tightening;
+* the §4 deserialized-filter dictionary.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.experiments import theory_validation
+from repro.bench.report import emit
+from repro.core import analysis
+from repro.core.bloom import fpr_for_bits
+from repro.core.rosetta import Rosetta
+from repro.workloads.keygen import generate_dataset
+from repro.workloads.ycsb import WorkloadBuilder
+
+
+@pytest.fixture(scope="module")
+def keys(scale):
+    dataset = generate_dataset(scale.num_keys, 64, seed=201)
+    return [int(k) for k in dataset.keys]
+
+
+def test_theory_table(benchmark, scale):
+    headers, rows = benchmark.pedantic(
+        theory_validation, args=(scale,), rounds=1, iterations=1
+    )
+    emit("§3 — theory vs measurement", headers, rows)
+    values = dict(rows)
+    assert values["actual_memory_bits"] <= values["rosetta_1.44_bound_bits"] * 1.4
+    assert values["measured_probes_per_query"] <= values[
+        "expected_probes_upper_bound"
+    ]
+
+
+def test_catalan_probe_model(benchmark, keys, scale):
+    """Measured probes per empty range vs the §3.2 Catalan expectation."""
+
+    def measure():
+        filt = Rosetta.build(keys, key_bits=64, bits_per_key=12, max_range=64,
+                             strategy="uniform")
+        level_fprs = [
+            fpr_for_bits(len(keys), b) for b in filt.memory_breakdown()
+        ]
+        worst = min(max(level_fprs), 0.49)
+        builder = WorkloadBuilder(keys, 64, seed=202)
+        workload = builder.empty_range_queries(scale.num_queries, 32)
+        filt.stats.reset()
+        for query in workload:
+            filt.may_contain_range(query.low, query.high)
+        return filt.stats.bloom_probes / len(workload), worst
+
+    measured, worst = benchmark.pedantic(measure, rounds=1, iterations=1)
+    bound = analysis.expected_range_probe_cost(worst, 32)
+    emit("§3.2 — probe-cost model", ("metric", "value"),
+         [("measured_probes_per_query", measured),
+          ("catalan_model_bound", bound)])
+    assert measured <= bound * 1.5
+
+
+def test_ablation_level_pruning(benchmark, keys, scale):
+    """Keeping only log2(Rmax)+1 levels concentrates memory and wins FPR."""
+
+    def run():
+        builder = WorkloadBuilder(keys, 64, seed=203)
+        workload = builder.empty_range_queries(scale.num_queries, 32)
+        rows = []
+        for max_range, label in (
+            (64, "pruned (R=64)"), (1 << 16, "deep (R=65536)")
+        ):
+            filt = Rosetta.build(keys, key_bits=64, bits_per_key=18,
+                                 max_range=max_range, strategy="equilibrium")
+            positives = sum(
+                filt.may_contain_range(q.low, q.high) for q in workload
+            )
+            rows.append((label, filt.num_levels, positives / len(workload)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation — level pruning by max range",
+         ("config", "levels", "fpr"), rows)
+    assert rows[0][2] <= rows[1][2] + 0.02  # pruning never hurts
+
+
+def test_ablation_construction_dedup(benchmark, keys):
+    """§3.2: sorted construction inserts only unique prefixes (<= n * L)."""
+    import numpy as np
+
+    def count():
+        arr = np.asarray(sorted(set(keys)), dtype=np.uint64)
+        total_unique = sum(
+            len(np.unique(arr >> np.uint64(height))) for height in range(7)
+        )
+        return total_unique, len(arr) * 7
+
+    total_unique, naive = benchmark.pedantic(count, rounds=1, iterations=1)
+    emit("Ablation — unique-prefix construction",
+         ("metric", "insertions"),
+         [("naive (n x levels)", naive), ("deduplicated", total_unique)])
+    assert total_unique <= naive
+
+
+def test_ablation_range_tightening(benchmark, keys):
+    """§2.2.1: tightening narrows the I/O window on positive ranges."""
+
+    def run():
+        filt = Rosetta.build(keys, key_bits=64, bits_per_key=20, max_range=64,
+                             strategy="equilibrium")
+        rng = random.Random(204)
+        sample = rng.sample(keys, min(200, len(keys)))
+        original = tightened = 0
+        for key in sample:
+            low, high = max(0, key - 30), key + 30
+            result = filt.tightened_range(low, high)
+            assert result is not None  # contains a real key
+            original += high - low + 1
+            tightened += result[1] - result[0] + 1
+        return original / len(sample), tightened / len(sample)
+
+    original, tightened = benchmark.pedantic(run, rounds=1, iterations=1)
+    reduction = 1 - tightened / original
+    emit("Ablation — range tightening",
+         ("metric", "value"),
+         [("mean original width", original),
+          ("mean tightened width", tightened),
+          ("I/O window reduction", reduction)])
+    assert reduction > 0.5  # sparse keys: most of the window is provably empty
+
+
+def test_ablation_filter_dictionary(benchmark, tmp_path, scale):
+    """§4: the dictionary amortizes deserialization to once per run."""
+    from repro.bench.factories import make_factory
+    from repro.lsm.db import DB
+    from repro.lsm.options import DBOptions
+
+    def run():
+        rows = []
+        for enabled in (True, False):
+            options = DBOptions(
+                key_bits=64, memtable_size_bytes=32 << 10,
+                sst_size_bytes=128 << 10, block_size_bytes=1024,
+                use_filter_dictionary=enabled,
+                filter_factory=make_factory("rosetta", 64, 16, max_range=64),
+            )
+            db = DB(str(tmp_path / f"dict-{enabled}"), options)
+            for i in range(3000):
+                db.put(i * 977, bytes(16))
+            db.flush()
+            for probe in range(1, 400):
+                db.get(probe * 977 + 13)
+            rows.append(
+                (f"dictionary={'on' if enabled else 'off'}",
+                 db.stats.deserialize_ns / 1e6)
+            )
+            db.close()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation — §4 filter dictionary", ("config", "deserialize_ms"), rows)
+    assert rows[0][1] < rows[1][1]
+
+
+def test_benchmark_tightened_vs_plain(benchmark, keys):
+    """Timing anchor: tightening costs extra probes per positive query."""
+    filt = Rosetta.build(keys, key_bits=64, bits_per_key=20, max_range=64)
+    key = keys[len(keys) // 2]
+    benchmark(filt.tightened_range, max(0, key - 30), key + 30)

@@ -1,0 +1,20 @@
+"""Shared fixtures and reporting helpers for the figure benchmarks.
+
+Every benchmark module regenerates one of the paper's figures: it prints
+the figure's data as a table (the same rows/series the paper reports) and
+uses pytest-benchmark to time a representative operation.  Scale with
+``REPRO_SCALE=<multiplier>`` (keys and queries scale linearly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import Scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """The session-wide experiment scale (REPRO_SCALE-aware)."""
+    return Scale.default()
+

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Workload-adaptive tuning (§2.4): the store re-tunes Rosetta per run.
+
+Rosetta monitors workload patterns (range-size histograms, filter hit
+rates) through the store's native statistics and, at compaction time,
+rebuilds filters with a workload-optimal configuration:
+
+* short-range-dominated workloads -> single-level filter (all memory in
+  the full-key Bloom filter; best FPR, probe cost linear in range size);
+* longer ranges -> variable-level allocation (bits pushed toward deeper
+  levels by cumulative probe-frequency weights).
+
+This demo runs a short-range workload, lets the auto-tuner retune, forces
+a compaction so new filters adopt the tuning, and shows the FPR drop.
+
+Run:  python examples/adaptive_tuning.py
+"""
+
+import os
+import shutil
+import tempfile
+
+from repro.bench import make_factory, run_workload
+from repro.bench.endtoend import load_database
+from repro.lsm import DBOptions
+from repro.workloads import WorkloadBuilder, generate_dataset
+
+KEY_BITS = 64
+NUM_KEYS = int(os.environ.get("REPRO_EXAMPLE_KEYS", "15000"))
+BITS_PER_KEY = 18
+
+
+def main() -> None:
+    dataset = generate_dataset(NUM_KEYS, KEY_BITS, seed=11)
+    keys = [int(k) for k in dataset.keys]
+    builder = WorkloadBuilder(keys, KEY_BITS, seed=12)
+    workload = builder.empty_range_queries(400, 8)  # short ranges dominate
+
+    path = tempfile.mkdtemp(prefix="repro-tuning-")
+    try:
+        # Start with a deliberately generic configuration: the "optimized"
+        # allocation assuming worst-case ranges of 1024.
+        generic = make_factory(
+            "rosetta-optimized", KEY_BITS, BITS_PER_KEY, max_range=1024
+        )
+        options = DBOptions(
+            key_bits=KEY_BITS,
+            memtable_size_bytes=64 << 10,
+            sst_size_bytes=256 << 10,
+            max_bytes_for_level_base=1 << 20,
+            device="ssd-scaled",
+        )
+        db = load_database(path, dataset, generic, options)
+
+        before = run_workload(db, workload)
+        print("Phase 1 - generic configuration (optimized, R_max=1024):")
+        print(f"  FPR = {before.fpr:.5f}, "
+              f"end-to-end = {before.end_to_end_seconds * 1e3:.1f} ms")
+
+        # The tracker has now seen 400 size-8 range queries.
+        decision = db.retune_filters()
+        print(f"\nAuto-tuner decision: strategy={decision.strategy!r}, "
+              f"max_range={decision.max_range} "
+              f"(observed histogram: {decision.range_size_histogram})")
+
+        # A full compaction rewrites every SST, so every filter instance is
+        # rebuilt with the tuned recipe ("at compaction time, we reconcile
+        # these statistics", §2.4).
+        db.force_full_compaction()
+
+        after = run_workload(db, workload)
+        print("\nPhase 2 - after retuning + compaction:")
+        print(f"  FPR = {after.fpr:.5f}, "
+              f"end-to-end = {after.end_to_end_seconds * 1e3:.1f} ms")
+        if after.fpr < before.fpr:
+            print("\nThe tuned single-level filter cut the false positive "
+                  "rate, exactly as §2.4 predicts for short-range workloads.")
+        db.close()
+    finally:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Benchmark harness: standalone filter measurement, end-to-end workload
+execution, figure regeneration, and table rendering."""
+
+from repro.bench.endtoend import EndToEndResult, load_database, run_workload, scratch_db
+from repro.bench.factories import FILTER_NAMES, make_factory
+from repro.bench.harness import (
+    FilterMeasurement,
+    end_to_end_latency_model,
+    measure_filter,
+)
+from repro.bench.report import banner, format_table, write_csv
+
+__all__ = [
+    "EndToEndResult",
+    "FILTER_NAMES",
+    "FilterMeasurement",
+    "banner",
+    "end_to_end_latency_model",
+    "format_table",
+    "load_database",
+    "make_factory",
+    "measure_filter",
+    "run_workload",
+    "scratch_db",
+    "write_csv",
+]

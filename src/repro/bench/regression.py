@@ -1,0 +1,156 @@
+"""Result-set regression comparison for reproduced experiments.
+
+Reproduction work lives and dies by "did anything change?".  This tool
+compares two CSV result sets (as written by ``repro-bench --csv`` or
+:func:`repro.bench.report.write_csv`): rows are keyed by their non-numeric
+columns, numeric columns are compared within a relative tolerance, and the
+outcome is a structured diff suitable for CI gating.
+
+::
+
+    report = compare_result_csvs("results/fig8_old.csv",
+                                 "results/fig8_new.csv", tolerance=0.25)
+    assert report.ok, report.summary()
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = ["RegressionReport", "compare_result_csvs", "compare_tables"]
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of a result-set comparison."""
+
+    rows_compared: int = 0
+    values_compared: int = 0
+    missing_rows: list[str] = field(default_factory=list)
+    extra_rows: list[str] = field(default_factory=list)
+    deviations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the new results match the baseline within tolerance."""
+        return not (self.missing_rows or self.extra_rows or self.deviations)
+
+    def summary(self) -> str:
+        """Human-readable diff."""
+        status = "MATCH" if self.ok else "REGRESSION"
+        lines = [
+            f"{status}: {self.rows_compared} rows, "
+            f"{self.values_compared} numeric values compared"
+        ]
+        for row in self.missing_rows:
+            lines.append(f"  missing row: {row}")
+        for row in self.extra_rows:
+            lines.append(f"  extra row:   {row}")
+        lines.extend(f"  {deviation}" for deviation in self.deviations)
+        return "\n".join(lines)
+
+
+def _is_number(value: str) -> bool:
+    try:
+        float(value)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+def _is_measurement(value: str) -> bool:
+    """Heuristic: floats are measurements, everything else identifies rows.
+
+    Parameter columns (range sizes, bits/key) are written as plain
+    integers; measured quantities (FPR, seconds) carry a decimal point or
+    exponent.  Rows therefore key on labels *and* integer parameters.
+    """
+    if not _is_number(value):
+        return False
+    # Bare zeros are (almost always) zero *measurements* — e.g. an FPR of
+    # exactly 0 — while zero parameters are essentially unheard of.
+    return ("." in value) or ("e" in value.lower()) or value == "0"
+
+
+def _row_key(headers: list[str], row: list[str]) -> str:
+    parts = [
+        f"{header}={value}"
+        for header, value in zip(headers, row)
+        if not _is_measurement(value)
+    ]
+    return ", ".join(parts) if parts else ", ".join(row)
+
+
+def compare_tables(
+    headers: list[str],
+    baseline_rows: list[list[str]],
+    candidate_rows: list[list[str]],
+    tolerance: float = 0.25,
+    absolute_floor: float = 1e-9,
+) -> RegressionReport:
+    """Compare two row sets sharing ``headers``.
+
+    Rows pair up by their non-numeric cells.  Numeric cells must agree
+    within ``tolerance`` (relative) or ``absolute_floor`` (for values near
+    zero, where relative error is meaningless).
+    """
+    if tolerance < 0:
+        raise ReproError(f"tolerance must be >= 0, got {tolerance}")
+    report = RegressionReport()
+    baseline = {_row_key(headers, row): row for row in baseline_rows}
+    candidate = {_row_key(headers, row): row for row in candidate_rows}
+
+    for key in baseline:
+        if key not in candidate:
+            report.missing_rows.append(key)
+    for key in candidate:
+        if key not in baseline:
+            report.extra_rows.append(key)
+
+    for key in sorted(set(baseline) & set(candidate)):
+        report.rows_compared += 1
+        old_row, new_row = baseline[key], candidate[key]
+        for header, old_cell, new_cell in zip(headers, old_row, new_row):
+            if not (_is_number(old_cell) and _is_number(new_cell)):
+                continue
+            report.values_compared += 1
+            old_value, new_value = float(old_cell), float(new_cell)
+            delta = abs(new_value - old_value)
+            scale = max(abs(old_value), abs(new_value))
+            if delta <= absolute_floor or (
+                scale > 0 and delta / scale <= tolerance
+            ):
+                continue
+            report.deviations.append(
+                f"{key} :: {header}: {old_value:g} -> {new_value:g} "
+                f"({delta / scale:.1%} off, tolerance {tolerance:.0%})"
+            )
+    return report
+
+
+def compare_result_csvs(
+    baseline_path: str, candidate_path: str, tolerance: float = 0.25
+) -> RegressionReport:
+    """Compare two CSV files produced by the benchmark harness."""
+    baseline_headers, baseline_rows = _read_csv(baseline_path)
+    candidate_headers, candidate_rows = _read_csv(candidate_path)
+    if baseline_headers != candidate_headers:
+        raise ReproError(
+            f"header mismatch: {baseline_headers} vs {candidate_headers}"
+        )
+    return compare_tables(
+        baseline_headers, baseline_rows, candidate_rows, tolerance
+    )
+
+
+def _read_csv(path: str) -> tuple[list[str], list[list[str]]]:
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            headers = next(reader)
+        except StopIteration:
+            raise ReproError(f"empty CSV: {path}") from None
+        return headers, [row for row in reader if row]

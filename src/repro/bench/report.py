@@ -1,0 +1,126 @@
+"""Plain-text table/series rendering for the regenerated figures.
+
+Each benchmark prints its figure's data as an aligned text table (the
+"same rows/series the paper reports") and can persist it as CSV under
+``results/`` for later plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+__all__ = ["format_table", "write_csv", "banner", "emit", "ascii_bar_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are shown with up-to-6 significant digits; everything else via
+    ``str``.
+    """
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered)) if rendered
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-4:
+            return f"{value:.3e}"
+        return f"{value:.5g}"
+    return str(value)
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Persist a table as CSV, creating parent directories."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def banner(text: str) -> str:
+    """A section banner for benchmark stdout."""
+    bar = "=" * max(len(text), 8)
+    return f"\n{bar}\n{text}\n{bar}"
+
+
+def emit(title: str, headers: Sequence[str], rows) -> None:
+    """Print a titled table (the benchmarks' figure-output helper)."""
+    print(banner(title))
+    print(format_table(headers, rows))
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Render a horizontal bar chart in plain text.
+
+    Useful for eyeballing figure data in a terminal: FPR spans several
+    orders of magnitude, so ``log_scale=True`` maps bar length to
+    ``log10`` of the value (zeros render as an empty bar).
+
+    >>> print(ascii_bar_chart(["a", "b"], [1.0, 0.5], width=10))
+    a  ########## 1
+    b  #####      0.5
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if not labels:
+        return title
+    import math
+
+    if log_scale:
+        positives = [v for v in values if v > 0]
+        floor = math.log10(min(positives)) - 1 if positives else 0.0
+        top = math.log10(max(positives)) if positives else 1.0
+        span = max(top - floor, 1e-12)
+
+        def bar_length(value: float) -> int:
+            if value <= 0:
+                return 0
+            return max(1, round(width * (math.log10(value) - floor) / span))
+    else:
+        top = max(values)
+
+        def bar_length(value: float) -> int:
+            if top <= 0:
+                return 0
+            return round(width * value / top)
+
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * bar_length(value)
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar.ljust(width)} {_cell(float(value))}"
+        )
+    return "\n".join(lines)

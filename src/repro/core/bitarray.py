@@ -1,0 +1,183 @@
+"""A compact, NumPy-backed bit array.
+
+This is the storage substrate for every Bloom-filter-like structure in the
+library (:mod:`repro.core.bloom`, the SuRF rank/select bit vectors, ...).
+Bits are packed into a ``uint64`` NumPy array; single-bit operations are plain
+integer arithmetic, and bulk operations (union, popcount) vectorize over the
+backing words.
+
+The array has a fixed size chosen at construction; this mirrors how filters in
+an LSM-tree are sized once per immutable run and never grow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+_WORD_BITS = 64
+
+__all__ = ["BitArray"]
+
+
+class BitArray:
+    """Fixed-size array of bits packed into 64-bit words.
+
+    Parameters
+    ----------
+    num_bits:
+        Total number of addressable bits.  May be zero (an empty array), which
+        is useful for filter levels that were assigned no memory.
+
+    Examples
+    --------
+    >>> bits = BitArray(128)
+    >>> bits.set(17)
+    >>> bits.test(17)
+    True
+    >>> bits.test(18)
+    False
+    """
+
+    __slots__ = ("_num_bits", "_words")
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits < 0:
+            raise ValueError(f"num_bits must be non-negative, got {num_bits}")
+        self._num_bits = int(num_bits)
+        num_words = (self._num_bits + _WORD_BITS - 1) // _WORD_BITS
+        self._words = np.zeros(num_words, dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_bits
+
+    @property
+    def num_bits(self) -> int:
+        """Number of addressable bits."""
+        return self._num_bits
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Size of the backing storage in bytes."""
+        return self._words.nbytes
+
+    # ------------------------------------------------------------------
+    # Single-bit operations
+    # ------------------------------------------------------------------
+    def set(self, index: int) -> None:
+        """Set the bit at ``index`` to 1."""
+        self._check_index(index)
+        self._words[index >> 6] |= np.uint64(1 << (index & 63))
+
+    def clear(self, index: int) -> None:
+        """Set the bit at ``index`` to 0."""
+        self._check_index(index)
+        self._words[index >> 6] &= np.uint64(~(1 << (index & 63)) & 0xFFFFFFFFFFFFFFFF)
+
+    def test(self, index: int) -> bool:
+        """Return ``True`` iff the bit at ``index`` is 1."""
+        self._check_index(index)
+        return bool(int(self._words[index >> 6]) >> (index & 63) & 1)
+
+    def __getitem__(self, index: int) -> bool:
+        return self.test(index)
+
+    def __setitem__(self, index: int, value: bool) -> None:
+        if value:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._num_bits:
+            raise IndexError(f"bit index {index} out of range [0, {self._num_bits})")
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    def set_many(self, indexes: np.ndarray) -> None:
+        """Set every bit whose index appears in ``indexes`` (vectorized)."""
+        if len(indexes) == 0:
+            return
+        idx = np.asarray(indexes, dtype=np.uint64)
+        words = idx >> np.uint64(6)
+        masks = np.uint64(1) << (idx & np.uint64(63))
+        # np.bitwise_or.at handles repeated word indexes correctly.
+        np.bitwise_or.at(self._words, words, masks)
+
+    def test_many(self, indexes: np.ndarray) -> np.ndarray:
+        """Return a boolean array: for each index, whether its bit is set."""
+        if len(indexes) == 0:
+            return np.zeros(0, dtype=bool)
+        idx = np.asarray(indexes, dtype=np.uint64)
+        words = self._words[(idx >> np.uint64(6)).astype(np.int64)]
+        return ((words >> (idx & np.uint64(63))) & np.uint64(1)).astype(bool)
+
+    def popcount(self) -> int:
+        """Return the number of set bits."""
+        return int(np.unpackbits(self._words.view(np.uint8)).sum())
+
+    def fill_ratio(self) -> float:
+        """Return the fraction of bits set (0.0 for an empty array)."""
+        if self._num_bits == 0:
+            return 0.0
+        return self.popcount() / self._num_bits
+
+    def union_with(self, other: "BitArray") -> None:
+        """In-place union (bitwise OR) with another equal-size array."""
+        if other.num_bits != self._num_bits:
+            raise ValueError(
+                f"cannot union bit arrays of different sizes "
+                f"({self._num_bits} vs {other.num_bits})"
+            )
+        np.bitwise_or(self._words, other._words, out=self._words)
+
+    def words(self) -> np.ndarray:
+        """Return the backing word array (a view; mutate with care)."""
+        return self._words
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to a compact, versionless byte string.
+
+        The layout is an 8-byte little-endian bit count followed by the raw
+        little-endian words.
+        """
+        header = self._num_bits.to_bytes(8, "little")
+        return header + self._words.tobytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BitArray":
+        """Reconstruct a :class:`BitArray` from :meth:`to_bytes` output."""
+        if len(payload) < 8:
+            raise SerializationError("bit array payload too short for header")
+        num_bits = int.from_bytes(payload[:8], "little")
+        arr = cls(num_bits)
+        expected = arr._words.nbytes
+        body = payload[8:]
+        if len(body) != expected:
+            raise SerializationError(
+                f"bit array payload has {len(body)} body bytes, expected {expected}"
+            )
+        if expected:
+            arr._words = np.frombuffer(body, dtype=np.uint64).copy()
+        return arr
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        return self._num_bits == other._num_bits and bool(
+            np.array_equal(self._words, other._words)
+        )
+
+    def __repr__(self) -> str:
+        return f"BitArray(num_bits={self._num_bits}, set={self.popcount()})"

@@ -1,0 +1,283 @@
+"""Standard Bloom filter, the building block of Rosetta.
+
+A Rosetta instance (see :mod:`repro.core.rosetta`) is a stack of these, one
+per binary-prefix length.  The filter accepts integer items (binary prefixes
+are represented as non-negative Python ints, paired externally with their
+length) or byte strings, hashes them with the stable mixers from
+:mod:`repro.core.hashing`, and spreads ``k`` probes via double hashing.
+
+A filter constructed with ``num_bits == 0`` is a degenerate *always-positive*
+filter.  Rosetta's memory-allocation strategies legitimately assign zero bits
+to some levels (Eq. 3 of the paper clamps negative allocations to zero); such
+levels must never prune, so membership queries on them return ``True``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.bitarray import BitArray
+from repro.core.hashing import (
+    bloom_indexes_array,
+    double_hash_indexes,
+    hash_bytes,
+    hash_int,
+    splitmix64,
+    splitmix64_array,
+)
+from repro.errors import FilterBuildError, SerializationError
+
+_SEED1 = 0x9AE16A3B2F90404F
+_SEED2 = 0xC3A5C85C97CB3127
+
+# Precomputed scalar stages of hash_int for the vectorized path.
+_H1_STAGE = splitmix64(_SEED1 ^ 0x2545F4914F6CDD1D)
+_H2_STAGE = splitmix64(_SEED2 ^ 0x2545F4914F6CDD1D)
+
+_LN2 = math.log(2.0)
+
+__all__ = ["BloomFilter", "optimal_num_hashes", "bits_for_fpr", "fpr_for_bits"]
+
+
+def optimal_num_hashes(bits_per_key: float) -> int:
+    """Return the FPR-optimal number of hash functions for a bits/key budget.
+
+    The classic result ``k = (m/n) ln 2``, rounded to the nearest positive
+    integer.
+    """
+    if bits_per_key <= 0:
+        return 1
+    return max(1, round(bits_per_key * _LN2))
+
+
+def bits_for_fpr(num_keys: int, fpr: float) -> int:
+    """Memory (bits) for a Bloom filter over ``num_keys`` keys at target FPR.
+
+    Uses the standard approximation ``m = -n ln(p) / (ln 2)^2``.  An FPR of
+    1.0 (or more) needs no memory at all.
+    """
+    if num_keys < 0:
+        raise ValueError(f"num_keys must be non-negative, got {num_keys}")
+    if fpr <= 0.0:
+        raise ValueError(f"target FPR must be positive, got {fpr}")
+    if fpr >= 1.0 or num_keys == 0:
+        return 0
+    return math.ceil(-num_keys * math.log(fpr) / (_LN2 * _LN2))
+
+
+def fpr_for_bits(num_keys: int, num_bits: int) -> float:
+    """Expected FPR of an optimally-hashed Bloom filter with ``num_bits``."""
+    if num_keys <= 0:
+        return 0.0
+    if num_bits <= 0:
+        return 1.0
+    return math.exp(-(num_bits / num_keys) * _LN2 * _LN2)
+
+
+class BloomFilter:
+    """A seedable, serializable Bloom filter over ints and byte strings.
+
+    Parameters
+    ----------
+    num_bits:
+        Size of the bit array.  Zero produces an always-positive filter.
+    num_hashes:
+        Number of double-hashed probes per item (``k``).
+
+    Examples
+    --------
+    >>> bf = BloomFilter.from_keys_and_bits([3, 6, 7], num_bits=64)
+    >>> bf.may_contain(6)
+    True
+    """
+
+    __slots__ = ("_bits", "_num_hashes", "_num_items")
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_hashes < 1:
+            raise FilterBuildError(f"num_hashes must be >= 1, got {num_hashes}")
+        self._bits = BitArray(num_bits)
+        self._num_hashes = int(num_hashes)
+        self._num_items = 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_keys_and_bits(cls, keys, num_bits: int, num_hashes: int | None = None):
+        """Build a filter sized at ``num_bits`` holding all of ``keys``."""
+        keys = list(keys)
+        if num_hashes is None:
+            bits_per_key = num_bits / len(keys) if keys else 1.0
+            num_hashes = optimal_num_hashes(bits_per_key)
+        bf = cls(num_bits, num_hashes)
+        for key in keys:
+            bf.add(key)
+        return bf
+
+    @classmethod
+    def from_fpr(cls, num_keys: int, fpr: float) -> "BloomFilter":
+        """Build an empty filter sized for ``num_keys`` at target ``fpr``."""
+        num_bits = bits_for_fpr(num_keys, fpr)
+        bits_per_key = num_bits / num_keys if num_keys else 1.0
+        return cls(num_bits, optimal_num_hashes(bits_per_key))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_bits(self) -> int:
+        """Size of the backing bit array in bits."""
+        return self._bits.num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        """Number of hash probes per item."""
+        return self._num_hashes
+
+    @property
+    def num_items(self) -> int:
+        """Number of items added so far."""
+        return self._num_items
+
+    @property
+    def is_always_positive(self) -> bool:
+        """``True`` for a zero-bit filter, which can never prune."""
+        return self._bits.num_bits == 0
+
+    def size_in_bits(self) -> int:
+        """Memory used by the filter payload, in bits."""
+        return self._bits.num_bits
+
+    def expected_fpr(self) -> float:
+        """Estimate the FPR from the current fill ratio: ``fill^k``."""
+        if self.is_always_positive:
+            return 1.0
+        return self._bits.fill_ratio() ** self._num_hashes
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _base_hashes(item) -> tuple[int, int]:
+        if isinstance(item, (int, np.integer)):
+            return hash_int(int(item), _SEED1), hash_int(int(item), _SEED2)
+        if isinstance(item, (bytes, bytearray, memoryview)):
+            data = bytes(item)
+            return hash_bytes(data, _SEED1), hash_bytes(data, _SEED2)
+        raise TypeError(f"BloomFilter items must be int or bytes, got {type(item)!r}")
+
+    # ------------------------------------------------------------------
+    # Mutation / queries
+    # ------------------------------------------------------------------
+    def add(self, item) -> None:
+        """Insert an item (int or bytes)."""
+        self._num_items += 1
+        if self.is_always_positive:
+            return
+        h1, h2 = self._base_hashes(item)
+        for pos in double_hash_indexes(h1, h2, self._num_hashes, self.num_bits):
+            self._bits.set(pos)
+
+    def add_many_ints(self, values: np.ndarray) -> None:
+        """Vectorized insert of a ``uint64`` array of integer items.
+
+        Must agree bit-for-bit with repeated :meth:`add` calls for values
+        below 2**64 (enforced by tests).
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        self._num_items += len(values)
+        if self.is_always_positive or len(values) == 0:
+            return
+        h1 = splitmix64_array(values ^ np.uint64(_H1_STAGE))
+        h2 = splitmix64_array(values ^ np.uint64(_H2_STAGE))
+        indexes = bloom_indexes_array(h1, h2, self._num_hashes, self.num_bits)
+        self._bits.set_many(indexes.ravel())
+
+    def may_contain(self, item) -> bool:
+        """Return ``False`` only if the item is definitely absent."""
+        if self.is_always_positive:
+            return True
+        h1, h2 = self._base_hashes(item)
+        return all(
+            self._bits.test(pos)
+            for pos in double_hash_indexes(h1, h2, self._num_hashes, self.num_bits)
+        )
+
+    def __contains__(self, item) -> bool:
+        return self.may_contain(item)
+
+    def may_contain_many_ints(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership probe for a ``uint64`` array of items."""
+        values = np.asarray(values, dtype=np.uint64)
+        if self.is_always_positive:
+            return np.ones(len(values), dtype=bool)
+        if len(values) == 0:
+            return np.zeros(0, dtype=bool)
+        h1 = splitmix64_array(values ^ np.uint64(_H1_STAGE))
+        h2 = splitmix64_array(values ^ np.uint64(_H2_STAGE))
+        indexes = bloom_indexes_array(h1, h2, self._num_hashes, self.num_bits)
+        hits = self._bits.test_many(indexes.ravel()).reshape(indexes.shape)
+        return hits.all(axis=1)
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """A filter answering positive for anything either input would.
+
+        Bloom filters of identical geometry (size and hash count) union by
+        OR-ing their bit arrays; the result behaves exactly like a filter
+        built over the combined key sets (same hash positions), at the
+        combined fill ratio.
+        """
+        if (
+            other.num_bits != self.num_bits
+            or other.num_hashes != self._num_hashes
+        ):
+            raise FilterBuildError(
+                "can only union Bloom filters of identical geometry "
+                f"({self.num_bits}/{self._num_hashes} vs "
+                f"{other.num_bits}/{other.num_hashes})"
+            )
+        merged = BloomFilter(self.num_bits, self._num_hashes)
+        merged._bits.union_with(self._bits)
+        merged._bits.union_with(other._bits)
+        merged._num_items = self._num_items + other._num_items
+        return merged
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    _MAGIC = b"RBF1"
+
+    def to_bytes(self) -> bytes:
+        """Serialize to bytes (magic, k, item count, bit payload)."""
+        return (
+            self._MAGIC
+            + self._num_hashes.to_bytes(4, "little")
+            + self._num_items.to_bytes(8, "little")
+            + self._bits.to_bytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BloomFilter":
+        """Reconstruct a filter from :meth:`to_bytes` output."""
+        if payload[:4] != cls._MAGIC:
+            raise SerializationError("bad BloomFilter magic")
+        num_hashes = int.from_bytes(payload[4:8], "little")
+        num_items = int.from_bytes(payload[8:16], "little")
+        bits = BitArray.from_bytes(payload[16:])
+        bf = cls.__new__(cls)
+        bf._bits = bits
+        bf._num_hashes = num_hashes
+        bf._num_items = num_items
+        return bf
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(num_bits={self.num_bits}, k={self._num_hashes}, "
+            f"items={self._num_items})"
+        )

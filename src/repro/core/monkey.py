@@ -1,0 +1,157 @@
+"""Monkey-style filter-memory allocation across LSM-tree levels.
+
+The paper's memory budget is always quoted per key, uniformly across runs.
+Its citation [24] (Dayan et al., "Monkey: Optimal Navigable Key-Value
+Store") shows that for *point* queries the optimal split of a global filter
+memory budget across LSM levels is non-uniform: smaller (younger) runs
+deserve exponentially more bits per key, because every lookup probes every
+run but the cost of a false positive is one I/O regardless of run size.
+
+This module ports that result to the per-run filter budgets of this store:
+minimize the expected number of false-positive I/Os per point lookup,
+
+    sum_i  r_i * exp(-(M_i / n_i) * ln(2)^2),
+
+subject to ``sum_i M_i = M``, where ``n_i`` is the number of keys in run
+``i`` and ``r_i`` how often the run is probed (1 for every run on the read
+path).  The KKT solution is the same water-filling shape as the paper's
+Eq. 3 with weights ``n_i`` — runs with fewer keys end up with *more* bits
+per key.
+
+Use :func:`allocate_run_budgets` to derive per-run bits/key, and
+:class:`MonkeyBudgetPolicy` to plug it into a store: the policy observes
+run sizes and hands each new filter build its budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AllocationError
+
+_BETA = math.log(2.0) ** 2
+
+__all__ = ["allocate_run_budgets", "expected_false_positive_ios",
+           "MonkeyBudgetPolicy"]
+
+
+def allocate_run_budgets(
+    run_sizes: Sequence[int], total_bits: int
+) -> list[int]:
+    """Split ``total_bits`` of filter memory across runs of given sizes.
+
+    Returns one bit budget per run, minimizing the summed per-run FPR
+    (Monkey's objective).  Degenerate runs (0 keys) receive 0 bits.
+
+    >>> small, large = allocate_run_budgets([1_000, 100_000], 1_010_000)
+    >>> small / 1_000 > large / 100_000   # smaller run: more bits/key
+    True
+    """
+    if total_bits < 0:
+        raise AllocationError(f"total_bits must be >= 0, got {total_bits}")
+    if any(size < 0 for size in run_sizes):
+        raise AllocationError("run sizes must be non-negative")
+    active = [i for i, size in enumerate(run_sizes) if size > 0]
+    budgets = [0.0] * len(run_sizes)
+    if not active or total_bits == 0:
+        return [0] * len(run_sizes)
+
+    # Water-filling: FPR_i = exp(-M_i/n_i * beta); optimality requires the
+    # *derivative* beta/n_i * exp(-M_i beta/n_i) equal across active runs.
+    # Solve for the shared lambda by bisection on the implied total memory.
+    def memory_for(lam: float) -> float:
+        total = 0.0
+        for i in active:
+            n = run_sizes[i]
+            # M_i = (n/beta) * ln(beta / (n * lam)), clamped at 0.
+            value = (n / _BETA) * math.log(_BETA / (n * lam)) if lam > 0 else float("inf")
+            total += max(0.0, value)
+        return total
+
+    lo, hi = 1e-300, 1e6
+    for _ in range(500):
+        mid = math.sqrt(lo * hi)
+        if memory_for(mid) > total_bits:
+            lo = mid
+        else:
+            hi = mid
+    lam = hi
+    for i in active:
+        n = run_sizes[i]
+        budgets[i] = max(0.0, (n / _BETA) * math.log(_BETA / (n * lam)))
+
+    # Normalise rounding drift onto the biggest-budget runs (which can
+    # always absorb a few bits in either direction).
+    ints = [int(round(b)) for b in budgets]
+    drift = total_bits - sum(ints)
+    for index in sorted(active, key=lambda i: -ints[i]):
+        adjusted = max(0, ints[index] + drift)
+        drift += ints[index] - adjusted
+        ints[index] = adjusted
+        if drift == 0:
+            break
+    return ints
+
+
+def expected_false_positive_ios(
+    run_sizes: Sequence[int], budgets: Sequence[int]
+) -> float:
+    """Expected false-positive I/Os per point lookup over all runs."""
+    if len(run_sizes) != len(budgets):
+        raise AllocationError("run_sizes and budgets must align")
+    total = 0.0
+    for size, bits in zip(run_sizes, budgets):
+        if size > 0:
+            total += math.exp(-(bits / size) * _BETA)
+    return total
+
+
+@dataclass
+class MonkeyBudgetPolicy:
+    """Derives per-run bits/key from a global memory budget.
+
+    Parameters
+    ----------
+    total_bits_per_key:
+        Global budget, expressed per key across the whole store (so the
+        total pool is ``total_bits_per_key * total_keys``).
+
+    The policy is consulted with the current run-size layout; it returns
+    the bits/key the *next* run of a given size should receive.  Uniform
+    stores give every run the same bits/key; this policy gives small runs
+    more.
+    """
+
+    total_bits_per_key: float = 10.0
+
+    def budgets_for_layout(self, run_sizes: Sequence[int]) -> list[float]:
+        """Per-run bits/key for a complete layout of run sizes."""
+        total_keys = sum(run_sizes)
+        pool = int(round(self.total_bits_per_key * total_keys))
+        budgets = allocate_run_budgets(run_sizes, pool)
+        return [
+            budget / size if size else 0.0
+            for budget, size in zip(budgets, run_sizes)
+        ]
+
+    def improvement_over_uniform(self, run_sizes: Sequence[int]) -> float:
+        """Ratio of uniform-allocation FP I/Os to Monkey-allocation FP I/Os.
+
+        > 1 means the skewed allocation is strictly better; equals 1 when
+        all runs have the same size.
+        """
+        total_keys = sum(run_sizes)
+        if total_keys == 0:
+            return 1.0
+        pool = int(round(self.total_bits_per_key * total_keys))
+        uniform = [
+            int(round(pool * size / total_keys)) for size in run_sizes
+        ]
+        tuned = allocate_run_budgets(run_sizes, pool)
+        uniform_cost = expected_false_positive_ios(run_sizes, uniform)
+        tuned_cost = expected_false_positive_ios(run_sizes, tuned)
+        if tuned_cost == 0:
+            return float("inf") if uniform_cost > 0 else 1.0
+        return uniform_cost / tuned_cost

@@ -1,0 +1,617 @@
+"""Rosetta — the paper's range filter (§2).
+
+A :class:`Rosetta` instance indexes a fixed set of integer keys drawn from a
+``2^key_bits`` domain by inserting *every binary prefix* of every key into a
+Bloom filter dedicated to that prefix length (Algorithm 1).  The filters form
+an implicit segment tree: the Bloom filter at height ``r`` above the leaves
+holds the ``(key_bits - r)``-bit prefixes, i.e. the dyadic blocks of size
+``2^r``.
+
+Range queries (Algorithm 2) decompose ``[low, high]`` into maximal dyadic
+blocks, probe each block's prefix, and on a positive recursively *doubt* the
+block by probing its two children, pre-order, until either a full root-to-leaf
+positive path survives (range may be non-empty) or every branch dies (range
+is definitely empty).
+
+Because the paper bounds the maximum range size ``R``, only the bottom
+``floor(log2 R) + 1`` levels are materialised (§3.1) — levels above the
+largest dyadic block a query can produce are never probed.  Setting
+``max_range = 1`` yields the single-level design of §2.4, where a range query
+probes every key in the range against the full-key filter.
+
+Instances are immutable once built, matching their role in an LSM-tree: one
+Rosetta per immutable run, rebuilt from scratch at every compaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core import dyadic
+from repro.core.allocation import LevelAllocation, allocate
+from repro.core.bloom import BloomFilter, optimal_num_hashes
+from repro.errors import FilterBuildError, FilterQueryError, SerializationError
+
+__all__ = ["Rosetta", "ProbeStats"]
+
+
+@dataclass
+class ProbeStats:
+    """Mutable probe-cost counters, accumulated across queries.
+
+    The paper's Fig. 4/5 probe-cost measurements are counts of Bloom-filter
+    probes; probes against zero-bit (always-positive) levels are free and not
+    counted, which is exactly what makes the variable-level allocation cheap.
+    """
+
+    bloom_probes: int = 0
+    dyadic_intervals: int = 0
+    range_queries: int = 0
+    point_queries: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.bloom_probes = 0
+        self.dyadic_intervals = 0
+        self.range_queries = 0
+        self.point_queries = 0
+
+
+class Rosetta:
+    """Hierarchical Bloom-filter range filter over integer keys.
+
+    Build with :meth:`build`; query with :meth:`may_contain` (points),
+    :meth:`may_contain_range` (range emptiness), or
+    :meth:`tightened_range` (range emptiness plus effective-range narrowing,
+    §2.2.1).
+
+    Examples
+    --------
+    >>> filt = Rosetta.build([3, 6, 7, 8, 9, 11], key_bits=4, bits_per_key=16,
+    ...                      max_range=8)
+    >>> filt.may_contain_range(8, 12)
+    True
+    >>> filt.may_contain_range(4, 5)
+    False
+    """
+
+    __slots__ = (
+        "_key_bits",
+        "_max_height",
+        "_filters",
+        "_allocation",
+        "_num_keys",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        key_bits: int,
+        filters: Sequence[BloomFilter],
+        allocation: LevelAllocation,
+        num_keys: int,
+    ) -> None:
+        """Internal constructor; use :meth:`build` or :meth:`from_bytes`."""
+        if key_bits < 1:
+            raise FilterBuildError(f"key_bits must be >= 1, got {key_bits}")
+        if not filters:
+            raise FilterBuildError("Rosetta requires at least one filter level")
+        if len(filters) > key_bits + 1:
+            raise FilterBuildError(
+                f"{len(filters)} levels exceed key domain depth {key_bits}"
+            )
+        self._key_bits = key_bits
+        self._max_height = len(filters) - 1
+        self._filters = list(filters)
+        self._allocation = allocation
+        self._num_keys = num_keys
+        self.stats = ProbeStats()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        keys: Iterable[int],
+        *,
+        key_bits: int = 64,
+        bits_per_key: float | None = None,
+        total_bits: int | None = None,
+        max_range: int = 64,
+        strategy: str = "optimized",
+        range_size_histogram: Mapping[int, float] | None = None,
+    ) -> "Rosetta":
+        """Build a Rosetta over ``keys`` (Algorithm 1 + §2.3/2.4 allocation).
+
+        Parameters
+        ----------
+        keys:
+            Non-negative integers below ``2^key_bits``.  Duplicates are fine.
+        key_bits:
+            Width of the key domain in bits (the paper's ``L``).
+        bits_per_key / total_bits:
+            The memory budget ``M``; give exactly one.
+        max_range:
+            Largest range-query size the filter is optimised for (``R``).
+            Only the bottom ``floor(log2 R) + 1`` levels are kept.  Queries
+            larger than ``R`` still answer correctly, just with more probes.
+        strategy:
+            Memory-allocation strategy (see :mod:`repro.core.allocation`).
+        range_size_histogram:
+            Observed range-size distribution for the workload-aware
+            strategies and the ``hybrid`` rule.
+        """
+        unique = cls._validated_unique_keys(keys, key_bits)
+        num_keys = len(unique)
+
+        if (bits_per_key is None) == (total_bits is None):
+            raise FilterBuildError(
+                "give exactly one of bits_per_key or total_bits"
+            )
+        if total_bits is None:
+            total_bits = int(round(bits_per_key * num_keys))
+        if total_bits < 0:
+            raise FilterBuildError(f"total_bits must be >= 0, got {total_bits}")
+        if max_range < 1:
+            raise FilterBuildError(f"max_range must be >= 1, got {max_range}")
+
+        max_height = min(max_range.bit_length() - 1, key_bits)
+        level_allocation = allocate(
+            strategy,
+            num_keys=num_keys,
+            total_bits=total_bits,
+            max_height=max_height,
+            range_size_histogram=range_size_histogram,
+        )
+        filters = cls._build_filters(unique, key_bits, level_allocation)
+        return cls(key_bits, filters, level_allocation, num_keys)
+
+    @staticmethod
+    def _validated_unique_keys(keys: Iterable[int], key_bits: int):
+        """Return sorted unique keys, validating the domain."""
+        if key_bits <= 64:
+            try:
+                arr = np.fromiter((int(k) for k in keys), dtype=np.uint64)
+            except (OverflowError, ValueError) as exc:
+                raise FilterBuildError(
+                    f"keys must lie in [0, 2^{key_bits})"
+                ) from exc
+            if len(arr) and int(arr.max()) >> key_bits:
+                raise FilterBuildError(f"keys must lie in [0, 2^{key_bits})")
+            return np.unique(arr)
+        unique = sorted(set(int(k) for k in keys))
+        if unique and (unique[0] < 0 or unique[-1] >> key_bits):
+            raise FilterBuildError(f"keys must lie in [0, 2^{key_bits})")
+        return unique
+
+    @staticmethod
+    def _build_filters(
+        unique_keys, key_bits: int, level_allocation: LevelAllocation
+    ) -> list[BloomFilter]:
+        """Insert every prefix of every key into its level's Bloom filter.
+
+        Sorted input lets us insert only *unique* prefixes per level (the §3.2
+        construction bound: at most ``n * L`` Bloom insertions, usually far
+        fewer at shallow levels).
+        """
+        filters: list[BloomFilter] = []
+        vectorized = key_bits <= 64 and isinstance(unique_keys, np.ndarray)
+        for height, num_bits in enumerate(level_allocation.bits_per_level):
+            if vectorized:
+                prefixes = np.unique(unique_keys >> np.uint64(height))
+                count = len(prefixes)
+            else:
+                prefixes = sorted({key >> height for key in unique_keys})
+                count = len(prefixes)
+            bits_per_item = num_bits / count if count else 1.0
+            bloom = BloomFilter(num_bits, optimal_num_hashes(bits_per_item))
+            if not bloom.is_always_positive:
+                if vectorized:
+                    bloom.add_many_ints(prefixes)
+                else:
+                    for prefix in prefixes:
+                        bloom.add(prefix)
+            filters.append(bloom)
+        return filters
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def key_bits(self) -> int:
+        """Width of the key domain in bits (``L``)."""
+        return self._key_bits
+
+    @property
+    def num_levels(self) -> int:
+        """Number of materialised Bloom-filter levels."""
+        return self._max_height + 1
+
+    @property
+    def max_height(self) -> int:
+        """Height of the tallest level (``floor(log2 R)``)."""
+        return self._max_height
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct keys indexed."""
+        return self._num_keys
+
+    @property
+    def allocation(self) -> LevelAllocation:
+        """The memory allocation this filter was built with."""
+        return self._allocation
+
+    def size_in_bits(self) -> int:
+        """Total filter memory in bits (sum of all levels)."""
+        return sum(f.size_in_bits() for f in self._filters)
+
+    def bits_per_key(self) -> float:
+        """Memory cost normalised per indexed key."""
+        if self._num_keys == 0:
+            return 0.0
+        return self.size_in_bits() / self._num_keys
+
+    def level_filter(self, height: int) -> BloomFilter:
+        """The Bloom filter at ``height`` above the leaves (0 = full keys)."""
+        return self._filters[height]
+
+    def memory_breakdown(self) -> list[int]:
+        """Bits actually used per level, leaf first."""
+        return [f.size_in_bits() for f in self._filters]
+
+    def describe(self) -> str:
+        """Human-readable per-level summary (introspection/debugging aid).
+
+        One line per Bloom-filter level: prefix length, memory, hash count,
+        items indexed, fill ratio, and the estimated raw FPR.
+        """
+        lines = [
+            f"Rosetta: {self._num_keys} keys over a 2^{self._key_bits} domain, "
+            f"{self.num_levels} levels, strategy={self._allocation.strategy!r}, "
+            f"{self.bits_per_key():.2f} bits/key",
+            f"{'height':>6}  {'prefix_bits':>11}  {'bits':>10}  {'k':>2}  "
+            f"{'items':>9}  {'fill':>6}  {'est_fpr':>9}",
+        ]
+        for height, filt in enumerate(self._filters):
+            if filt.is_always_positive:
+                fill, fpr = "-", "1 (empty)"
+            else:
+                fill = f"{filt.expected_fpr() ** (1 / filt.num_hashes):.3f}"
+                fpr = f"{filt.expected_fpr():.3e}"
+            lines.append(
+                f"{height:>6}  {self._key_bits - height:>11}  "
+                f"{filt.size_in_bits():>10}  {filt.num_hashes:>2}  "
+                f"{filt.num_items:>9}  {fill:>6}  {fpr:>9}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def may_contain(self, key: int) -> bool:
+        """Point lookup (§2.2.2): probe only the full-key (leaf) level."""
+        self.stats.point_queries += 1
+        if self._num_keys == 0:
+            return False
+        self._check_key(key)
+        leaf = self._filters[0]
+        if not leaf.is_always_positive:
+            self.stats.bloom_probes += 1
+        return leaf.may_contain(key)
+
+    def may_contain_batch(self, keys) -> np.ndarray:
+        """Vectorized point lookups: one boolean per key.
+
+        Equivalent to mapping :meth:`may_contain`, but the leaf level's
+        probes run as NumPy bulk operations (requires ``key_bits <= 64``).
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if self._key_bits > 64:
+            raise FilterQueryError(
+                "batch point lookups require key_bits <= 64"
+            )
+        if len(keys) and int(keys.max()) >> self._key_bits:
+            raise FilterQueryError(
+                f"keys must lie in [0, 2^{self._key_bits})"
+            )
+        self.stats.point_queries += len(keys)
+        if self._num_keys == 0:
+            return np.zeros(len(keys), dtype=bool)
+        leaf = self._filters[0]
+        if not leaf.is_always_positive:
+            self.stats.bloom_probes += len(keys)
+        return leaf.may_contain_many_ints(keys)
+
+    def may_contain_range_batch(self, lows, highs) -> np.ndarray:
+        """Vectorized range lookups: one boolean per (low, high) pair.
+
+        Single-level instances (``num_levels == 1``, the §2.4 design) probe
+        every key of every range with one NumPy bulk operation; multi-level
+        instances fall back to per-query doubting.  Agrees with
+        :meth:`may_contain_range` query-for-query.
+        """
+        lows = [int(v) for v in lows]
+        highs = [int(v) for v in highs]
+        if len(lows) != len(highs):
+            raise FilterQueryError("lows and highs must align")
+        single_level = (
+            self.num_levels == 1
+            and self._key_bits <= 64
+            and self._num_keys > 0
+            and not self._filters[0].is_always_positive
+        )
+        if not single_level:
+            return np.fromiter(
+                (self.may_contain_range(lo, hi) for lo, hi in zip(lows, highs)),
+                dtype=bool,
+                count=len(lows),
+            )
+        # Flatten every queried key into one bulk leaf probe.
+        domain_max = self._domain_max()
+        spans: list[np.ndarray] = []
+        bounds: list[int] = [0]
+        for low, high in zip(lows, highs):
+            if low > high:
+                raise FilterQueryError(f"invalid range: low={low} > high={high}")
+            clamped_high = min(high, domain_max)
+            spans.append(
+                np.arange(max(low, 0), clamped_high + 1, dtype=np.uint64)
+            )
+            bounds.append(bounds[-1] + len(spans[-1]))
+        flat = (
+            np.concatenate(spans) if spans else np.zeros(0, dtype=np.uint64)
+        )
+        self.stats.range_queries += len(lows)
+        self.stats.bloom_probes += len(flat)
+        hits = self._filters[0].may_contain_many_ints(flat)
+        return np.fromiter(
+            (
+                bool(hits[bounds[i] : bounds[i + 1]].any())
+                for i in range(len(lows))
+            ),
+            dtype=bool,
+            count=len(lows),
+        )
+
+    def may_contain_range(
+        self, low: int, high: int, probe_budget: int | None = None
+    ) -> bool:
+        """Range-emptiness lookup (Algorithm 2).
+
+        Returns ``False`` only if ``[low, high]`` definitely holds no key.
+
+        ``probe_budget`` caps the Bloom probes spent on this query — the
+        CPU side of the paper's CPU/FPR tradeoff made explicit.  When the
+        budget runs out mid-doubt the filter answers ``True``
+        (conservative: bounded CPU can only cost false positives, never
+        correctness).
+        """
+        low, high = self._clamp_range(low, high)
+        self.stats.range_queries += 1
+        if self._num_keys == 0 or low > high:
+            return False
+        if probe_budget is not None and probe_budget < 1:
+            return True
+        deadline = (
+            self.stats.bloom_probes + probe_budget
+            if probe_budget is not None
+            else None
+        )
+        for interval in dyadic.decompose(low, high, self._max_height):
+            self.stats.dyadic_intervals += 1
+            if self._doubt(interval.prefix, interval.height, deadline):
+                return True
+        return False
+
+    def tightened_range(self, low: int, high: int) -> tuple[int, int] | None:
+        """Range lookup with effective-range tightening (§2.2.1).
+
+        Returns ``None`` when the range is definitely empty; otherwise the
+        narrowest ``(effective_low, effective_high)`` sub-range that may hold
+        keys — storage I/O can then seek the narrower range.
+        """
+        low, high = self._clamp_range(low, high)
+        self.stats.range_queries += 1
+        if self._num_keys == 0 or low > high:
+            return None
+        intervals = list(dyadic.decompose(low, high, self._max_height))
+        self.stats.dyadic_intervals += len(intervals)
+
+        first_idx: int | None = None
+        effective_low = 0
+        for idx, interval in enumerate(intervals):
+            leftmost = self._leftmost_positive(interval.prefix, interval.height)
+            if leftmost is not None:
+                first_idx, effective_low = idx, leftmost
+                break
+        if first_idx is None:
+            return None
+
+        # Scan from the right down to (and including) the first positive
+        # interval; probing is deterministic, so that interval is guaranteed
+        # to yield a rightmost value and the loop always terminates with one.
+        effective_high = effective_low
+        for idx in range(len(intervals) - 1, first_idx - 1, -1):
+            interval = intervals[idx]
+            rightmost = self._rightmost_positive(interval.prefix, interval.height)
+            if rightmost is not None:
+                effective_high = rightmost
+                break
+        return max(effective_low, low), min(max(effective_high, effective_low), high)
+
+    # ------------------------------------------------------------------
+    # Doubting (Algorithm 2 core)
+    # ------------------------------------------------------------------
+    def _probe(self, prefix: int, height: int) -> bool:
+        filt = self._filters[height]
+        if filt.is_always_positive:
+            return True
+        self.stats.bloom_probes += 1
+        return filt.may_contain(prefix)
+
+    def _doubt(
+        self, prefix: int, height: int, deadline: int | None = None
+    ) -> bool:
+        """Pre-order descent: does any root-to-leaf positive path survive?
+
+        ``deadline`` is an absolute probe-counter value; once reached, the
+        doubt gives up and answers positive (bounded-CPU mode).
+        """
+        if deadline is not None and self.stats.bloom_probes >= deadline:
+            return True
+        if not self._probe(prefix, height):
+            return False
+        if height == 0:
+            return True
+        left = prefix << 1
+        if self._doubt(left, height - 1, deadline):
+            return True
+        return self._doubt(left | 1, height - 1, deadline)
+
+    def _leftmost_positive(self, prefix: int, height: int) -> int | None:
+        """Smallest leaf value with a surviving positive path, if any."""
+        if not self._probe(prefix, height):
+            return None
+        if height == 0:
+            return prefix
+        left = prefix << 1
+        found = self._leftmost_positive(left, height - 1)
+        if found is not None:
+            return found
+        return self._leftmost_positive(left | 1, height - 1)
+
+    def _rightmost_positive(self, prefix: int, height: int) -> int | None:
+        """Largest leaf value with a surviving positive path, if any."""
+        if not self._probe(prefix, height):
+            return None
+        if height == 0:
+            return prefix
+        right = (prefix << 1) | 1
+        found = self._rightmost_positive(right, height - 1)
+        if found is not None:
+            return found
+        return self._rightmost_positive(prefix << 1, height - 1)
+
+    # ------------------------------------------------------------------
+    # Prediction / combination
+    # ------------------------------------------------------------------
+    def predicted_range_fpr(self, range_size: int, alignment: int = 1) -> float:
+        """This instance's analytically predicted empty-range FPR.
+
+        Feeds the per-level fill-ratio FPR estimates into the §3 doubt
+        recursion (:func:`repro.core.analysis.predict_range_fpr`).  Useful
+        for sanity-checking a built filter without running a workload.
+        """
+        from repro.core.analysis import predict_range_fpr
+
+        level_fprs = [
+            min(max(filt.expected_fpr(), 1e-12), 1.0 - 1e-12)
+            for filt in self._filters
+        ]
+        return predict_range_fpr(level_fprs, range_size, alignment)
+
+    def union(self, other: "Rosetta") -> "Rosetta":
+        """Merge two same-geometry instances without rebuilding (OR levels).
+
+        The result answers positive wherever either input would — sound
+        for a merged run's key set, at the *combined* fill ratio (so FPR
+        degrades versus a fresh rebuild, which is why the paper rebuilds
+        at compaction; the union is the cheap alternative when compaction
+        throughput matters more than FPR).
+        """
+        if (
+            other._key_bits != self._key_bits
+            or other.num_levels != self.num_levels
+        ):
+            raise FilterBuildError(
+                "can only union Rosetta instances with identical geometry"
+            )
+        merged_filters = [
+            mine.union(theirs)
+            for mine, theirs in zip(self._filters, other._filters)
+        ]
+        allocation = LevelAllocation(
+            bits_per_level=tuple(f.size_in_bits() for f in merged_filters),
+            strategy="union",
+        )
+        return Rosetta(
+            self._key_bits,
+            merged_filters,
+            allocation,
+            self._num_keys + other._num_keys,
+        )
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _domain_max(self) -> int:
+        return (1 << self._key_bits) - 1
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key <= self._domain_max():
+            raise FilterQueryError(
+                f"key {key} outside domain [0, 2^{self._key_bits})"
+            )
+
+    def _clamp_range(self, low: int, high: int) -> tuple[int, int]:
+        if low > high:
+            raise FilterQueryError(f"invalid range: low={low} > high={high}")
+        if low < 0:
+            low = 0
+        return low, min(high, self._domain_max())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    _MAGIC = b"ROSETTA2"
+
+    def to_bytes(self) -> bytes:
+        """Serialize the full filter (all levels) to bytes."""
+        parts = [
+            self._MAGIC,
+            self._key_bits.to_bytes(2, "little"),
+            self.num_levels.to_bytes(2, "little"),
+            self._num_keys.to_bytes(8, "little"),
+        ]
+        for filt in self._filters:
+            payload = filt.to_bytes()
+            parts.append(len(payload).to_bytes(8, "little"))
+            parts.append(payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "Rosetta":
+        """Reconstruct a filter from :meth:`to_bytes` output."""
+        if payload[:8] != cls._MAGIC:
+            raise SerializationError("bad Rosetta magic")
+        key_bits = int.from_bytes(payload[8:10], "little")
+        num_levels = int.from_bytes(payload[10:12], "little")
+        num_keys = int.from_bytes(payload[12:20], "little")
+        offset = 20
+        filters: list[BloomFilter] = []
+        for _ in range(num_levels):
+            if offset + 8 > len(payload):
+                raise SerializationError("truncated Rosetta level header")
+            length = int.from_bytes(payload[offset : offset + 8], "little")
+            offset += 8
+            if offset + length > len(payload):
+                raise SerializationError("truncated Rosetta level payload")
+            filters.append(BloomFilter.from_bytes(payload[offset : offset + length]))
+            offset += length
+        allocation = LevelAllocation(
+            bits_per_level=tuple(f.size_in_bits() for f in filters),
+            strategy="deserialized",
+        )
+        return cls(key_bits, filters, allocation, num_keys)
+
+    def __repr__(self) -> str:
+        return (
+            f"Rosetta(key_bits={self._key_bits}, levels={self.num_levels}, "
+            f"keys={self._num_keys}, bits={self.size_in_bits()}, "
+            f"strategy={self._allocation.strategy!r})"
+        )

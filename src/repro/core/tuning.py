@@ -1,0 +1,225 @@
+"""Workload tracking and self-tuning (paper §2.4, last part).
+
+Rosetta "has the ability to track workload patterns and adopt a beneficial
+tuning for each individual LSM-tree run".  The key-value store keeps
+counters and histograms for query ranges, invoked filter instances, and hit
+rates; at compaction time these statistics are reconciled and the
+post-compaction Rosetta instances are built with workload-derived weights,
+choosing single- vs variable-level allocation per run.
+
+:class:`WorkloadTracker` is the statistics sink (wired into
+:mod:`repro.lsm.db` by the filter integration layer) and :class:`AutoTuner`
+turns a tracker into a concrete build recipe (:class:`TuningDecision`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.allocation import HYBRID_SMALL_RANGE_CUTOFF
+
+__all__ = ["WorkloadTracker", "AutoTuner", "TuningDecision"]
+
+
+class WorkloadTracker:
+    """Accumulates the native statistics a key-value store already keeps.
+
+    Thread-unsafe by design (the LSM store serialises stat updates); cheap to
+    merge, so per-run trackers can be reconciled at compaction time.
+    """
+
+    def __init__(self) -> None:
+        self._range_sizes: Counter[int] = Counter()
+        self._point_queries = 0
+        self._filter_positives = 0
+        self._filter_negatives = 0
+        self._false_positives = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_range_query(self, range_size: int) -> None:
+        """Record one range query of ``range_size`` keys."""
+        if range_size < 1:
+            raise ValueError(f"range_size must be >= 1, got {range_size}")
+        self._range_sizes[range_size] += 1
+
+    def record_point_query(self) -> None:
+        """Record one point query."""
+        self._point_queries += 1
+
+    def record_filter_outcome(self, positive: bool, truly_nonempty: bool) -> None:
+        """Record a filter verdict and (after the I/O) the ground truth."""
+        if positive:
+            self._filter_positives += 1
+            if not truly_nonempty:
+                self._false_positives += 1
+        else:
+            self._filter_negatives += 1
+
+    def merge(self, other: "WorkloadTracker") -> None:
+        """Fold another tracker's statistics into this one."""
+        self._range_sizes.update(other._range_sizes)
+        self._point_queries += other._point_queries
+        self._filter_positives += other._filter_positives
+        self._filter_negatives += other._filter_negatives
+        self._false_positives += other._false_positives
+
+    def reset(self) -> None:
+        """Clear all statistics (post-compaction reconciliation)."""
+        self._range_sizes.clear()
+        self._point_queries = 0
+        self._filter_positives = 0
+        self._filter_negatives = 0
+        self._false_positives = 0
+
+    # ------------------------------------------------------------------
+    # Persistence (the store checkpoints statistics with its manifest)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of all statistics."""
+        return {
+            "range_sizes": {str(k): v for k, v in self._range_sizes.items()},
+            "point_queries": self._point_queries,
+            "filter_positives": self._filter_positives,
+            "filter_negatives": self._filter_negatives,
+            "false_positives": self._false_positives,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadTracker":
+        """Restore a tracker saved with :meth:`to_dict`."""
+        tracker = cls()
+        for size, count in payload.get("range_sizes", {}).items():
+            tracker._range_sizes[int(size)] = int(count)
+        tracker._point_queries = int(payload.get("point_queries", 0))
+        tracker._filter_positives = int(payload.get("filter_positives", 0))
+        tracker._filter_negatives = int(payload.get("filter_negatives", 0))
+        tracker._false_positives = int(payload.get("false_positives", 0))
+        return tracker
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def range_size_histogram(self) -> dict[int, int]:
+        """Observed range-size counts (size -> queries)."""
+        return dict(self._range_sizes)
+
+    @property
+    def num_range_queries(self) -> int:
+        """Total range queries recorded."""
+        return sum(self._range_sizes.values())
+
+    @property
+    def num_point_queries(self) -> int:
+        """Total point queries recorded."""
+        return self._point_queries
+
+    @property
+    def observed_false_positive_rate(self) -> float:
+        """Measured FPR of filter verdicts (0.0 with no data)."""
+        probes = self._filter_positives + self._filter_negatives
+        if probes == 0:
+            return 0.0
+        return self._false_positives / probes
+
+    def dominant_small_ranges(self) -> bool:
+        """True when ranges of size <= 16 carry most of the query mass."""
+        total = self.num_range_queries
+        if total == 0:
+            return False
+        small = sum(
+            count
+            for size, count in self._range_sizes.items()
+            if size <= HYBRID_SMALL_RANGE_CUTOFF
+        )
+        return small / total > 0.5
+
+    def percentile_range_size(self, quantile: float) -> int:
+        """Smallest range size covering ``quantile`` of the query mass."""
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        total = self.num_range_queries
+        if total == 0:
+            return 1
+        needed = quantile * total
+        running = 0
+        for size in sorted(self._range_sizes):
+            running += self._range_sizes[size]
+            if running >= needed:
+                return size
+        return max(self._range_sizes)
+
+
+@dataclass(frozen=True)
+class TuningDecision:
+    """A concrete recipe for building the next Rosetta instance."""
+
+    strategy: str
+    max_range: int
+    range_size_histogram: dict[int, int] = field(default_factory=dict)
+
+    def build_kwargs(self) -> dict:
+        """Keyword arguments to pass straight to :meth:`Rosetta.build`."""
+        return {
+            "strategy": self.strategy,
+            "max_range": self.max_range,
+            "range_size_histogram": self.range_size_histogram or None,
+        }
+
+
+class AutoTuner:
+    """Turns workload statistics into a Rosetta build recipe.
+
+    Policy (matching §2.4's hybrid mechanism):
+
+    * Dominantly small ranges (<= 16): ``single``-level filter — best FPR,
+      probe cost stays acceptable because ranges are short.
+    * Otherwise: ``variable``-level filter with the observed histogram as
+      weights.
+    * Point-query-only workloads degrade to ``single`` (all memory in the
+      full-key level, which is exactly a classic Bloom filter).
+
+    ``max_range`` is sized to the quantile of observed range sizes given by
+    ``coverage`` (default P99), rounded up to a power of two and clamped to
+    ``range_cap``.
+    """
+
+    def __init__(self, coverage: float = 0.99, range_cap: int = 4096) -> None:
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        if range_cap < 1:
+            raise ValueError(f"range_cap must be >= 1, got {range_cap}")
+        self.coverage = coverage
+        self.range_cap = range_cap
+
+    def recommend(
+        self, tracker: WorkloadTracker, default_max_range: int = 64
+    ) -> TuningDecision:
+        """Recommend a build recipe from observed statistics."""
+        if tracker.num_range_queries == 0:
+            if tracker.num_point_queries > 0:
+                return TuningDecision(strategy="single", max_range=1)
+            return TuningDecision(strategy="optimized", max_range=default_max_range)
+
+        observed = tracker.percentile_range_size(self.coverage)
+        max_range = min(_next_power_of_two(observed), self.range_cap)
+        histogram = tracker.range_size_histogram
+        if tracker.dominant_small_ranges():
+            return TuningDecision(
+                strategy="single", max_range=max_range,
+                range_size_histogram=histogram,
+            )
+        return TuningDecision(
+            strategy="variable", max_range=max_range,
+            range_size_histogram=histogram,
+        )
+
+
+def _next_power_of_two(value: int) -> int:
+    if value < 1:
+        return 1
+    return 1 << (value - 1).bit_length()

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so callers
+can catch one base class at an API boundary.  Sub-hierarchies mirror the major
+subsystems: filter construction/usage, serialization, and the LSM-tree store.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class FilterError(ReproError):
+    """Base class for filter-related errors (Rosetta, SuRF, Bloom, ...)."""
+
+
+class FilterBuildError(FilterError):
+    """A filter could not be constructed from the given keys/parameters."""
+
+
+class FilterQueryError(FilterError):
+    """A filter was queried with invalid arguments (bad range, bad key type)."""
+
+
+class ImmutableFilterError(FilterError):
+    """A mutation was attempted on a finalized (immutable) filter instance."""
+
+
+class AllocationError(FilterError):
+    """A memory-allocation strategy received an infeasible budget or shape."""
+
+
+class SerializationError(ReproError):
+    """A filter or store artifact could not be (de)serialized."""
+
+
+class CorruptionError(SerializationError):
+    """Stored bytes failed checksum/magic validation during deserialization."""
+
+
+class StoreError(ReproError):
+    """Base class for LSM-tree key-value store errors."""
+
+
+class InvalidOptionsError(StoreError):
+    """The store was configured with inconsistent or out-of-range options."""
+
+
+class ClosedStoreError(StoreError):
+    """An operation was attempted on a store that has been closed."""
+
+
+class CompactionError(StoreError):
+    """A background compaction failed."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""

@@ -1,0 +1,159 @@
+"""The master *filter template* API (paper §4).
+
+The paper standardises filters behind one template exposing "the fundamental
+filter functionalities — populating the filter, querying the filter about the
+existence of one or more keys (point lookups and range scans), and
+serializing and deserializing the filter contents and its structure."
+
+Every filter in this library — Rosetta, SuRF, Prefix Bloom, plain Bloom,
+fence-pointer pseudo-filter, Cuckoo — implements :class:`KeyFilter` through a
+small adapter so the LSM-tree store (:mod:`repro.lsm`) and the benchmark
+harness can swap them freely.  Adapters operate on *integer keys* in a
+``2^key_bits`` domain; the workload layer provides codecs between application
+keys (ints, strings) and this domain.
+
+A :class:`FilterFactory` captures the filter family plus its tuning knobs
+(memory budget, max range, allocation strategy...) so the store can rebuild
+filter instances at every flush/compaction, as the paper requires.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import SerializationError
+
+__all__ = ["KeyFilter", "FilterFactory", "register_filter_codec", "deserialize_filter"]
+
+
+class KeyFilter(abc.ABC):
+    """Abstract probabilistic filter over integer keys in ``[0, 2^key_bits)``.
+
+    Implementations are immutable after :meth:`populate` — one instance per
+    immutable LSM run.
+    """
+
+    #: Short stable identifier used in serialized envelopes and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def populate(self, keys: Sequence[int]) -> None:
+        """Index all ``keys``; must be called exactly once, before queries."""
+
+    @abc.abstractmethod
+    def may_contain(self, key: int) -> bool:
+        """Point lookup: ``False`` only if ``key`` is definitely absent."""
+
+    @abc.abstractmethod
+    def may_contain_range(self, low: int, high: int) -> bool:
+        """Range lookup: ``False`` only if ``[low, high]`` is definitely empty."""
+
+    @abc.abstractmethod
+    def size_in_bits(self) -> int:
+        """Memory footprint of the filter payload, in bits."""
+
+    @abc.abstractmethod
+    def serialize(self) -> bytes:
+        """Serialize contents and structure to bytes."""
+
+    def tightened_range(self, low: int, high: int) -> tuple[int, int] | None:
+        """Optionally narrow a positive range (None = definitely empty).
+
+        The default implementation degrades to plain range probing with no
+        narrowing; Rosetta overrides this with §2.2.1 tightening.
+        """
+        if self.may_contain_range(low, high):
+            return (low, high)
+        return None
+
+    def probe_count(self) -> int:
+        """Cumulative internal probe count, if tracked (0 otherwise)."""
+        return 0
+
+    def reset_probe_count(self) -> None:
+        """Reset internal probe counters, if tracked."""
+
+
+class FilterFactory:
+    """A named recipe that builds fresh :class:`KeyFilter` instances.
+
+    The LSM store calls :meth:`build` once per flush/compaction output run;
+    benchmarks call it once per configuration point.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        builder: Callable[[Sequence[int]], KeyFilter],
+        *,
+        bits_per_key: float | None = None,
+    ) -> None:
+        self.name = name
+        self._builder = builder
+        self.bits_per_key = bits_per_key
+
+    def build(self, keys: Sequence[int]) -> KeyFilter:
+        """Build a populated filter over ``keys``."""
+        return self._builder(keys)
+
+    def __repr__(self) -> str:
+        return f"FilterFactory(name={self.name!r}, bits_per_key={self.bits_per_key})"
+
+
+# ----------------------------------------------------------------------
+# Serialization envelope registry
+# ----------------------------------------------------------------------
+#
+# Filter blocks inside SST files carry a one-byte-length name tag followed by
+# the filter's own payload; deserialization dispatches on the tag.
+
+_CODECS: dict[str, Callable[[bytes], KeyFilter]] = {}
+
+
+def register_filter_codec(name: str, loader: Callable[[bytes], KeyFilter]) -> None:
+    """Register a loader for filter envelopes tagged ``name``."""
+    if not name or len(name.encode()) > 255:
+        raise ValueError(f"invalid filter codec name {name!r}")
+    _CODECS[name] = loader
+
+
+def serialize_envelope(filt: KeyFilter) -> bytes:
+    """Wrap a filter's payload in a self-describing, checksummed envelope.
+
+    Layout: ``[tag_len u8][tag][crc32 u32le][payload]``.  The CRC covers
+    the payload so bit rot inside a persisted filter block is detected at
+    deserialization time, not returned as a silently-wrong filter.
+    """
+    import zlib
+
+    tag = filt.name.encode()
+    payload = filt.serialize()
+    crc = zlib.crc32(payload).to_bytes(4, "little")
+    return bytes([len(tag)]) + tag + crc + payload
+
+
+def deserialize_filter(envelope: bytes) -> KeyFilter:
+    """Reconstruct any registered filter from its envelope bytes."""
+    import zlib
+
+    if not envelope:
+        raise SerializationError("empty filter envelope")
+    tag_len = envelope[0]
+    if len(envelope) < 1 + tag_len + 4:
+        raise SerializationError("truncated filter envelope")
+    try:
+        name = envelope[1 : 1 + tag_len].decode()
+    except UnicodeDecodeError as exc:
+        raise SerializationError("corrupt filter envelope tag") from exc
+    loader = _CODECS.get(name)
+    if loader is None:
+        raise SerializationError(
+            f"no codec registered for filter {name!r} "
+            f"(known: {sorted(_CODECS)})"
+        )
+    crc = int.from_bytes(envelope[1 + tag_len : 5 + tag_len], "little")
+    payload = envelope[5 + tag_len :]
+    if zlib.crc32(payload) != crc:
+        raise SerializationError(f"filter envelope checksum mismatch ({name})")
+    return loader(payload)

@@ -1,0 +1,126 @@
+"""Two-filters-per-run baseline: a point filter plus a range filter.
+
+The paper's §1 observes that with SuRF or Prefix Bloom, "an LSM-tree based
+key-value store with such filters needs to either maintain a separate Bloom
+filter per run to index full keys or suffer a high false positive rate for
+point queries."  This class implements that first option — the memory of
+one budget split between a full-key Bloom filter (serving point queries)
+and a SuRF (serving range queries) — so benchmarks can quantify what the
+two-filter workaround costs against Rosetta, which serves both query types
+from one structure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import FilterBuildError
+from repro.filters.base import KeyFilter, register_filter_codec
+from repro.filters.bloom_point import BloomPointFilter
+from repro.filters.surf.surf import SurfFilter
+
+__all__ = ["CombinedPointRangeFilter"]
+
+
+class CombinedPointRangeFilter(KeyFilter):
+    """Bloom (points) + SuRF (ranges) sharing one memory budget.
+
+    Parameters
+    ----------
+    key_bits:
+        Key domain width.
+    bits_per_key:
+        The *total* budget across both structures.
+    point_fraction:
+        Share of the budget handed to the point Bloom filter; the SuRF gets
+        the rest (subject to its structural floor).
+    """
+
+    name = "bloom+surf"
+
+    def __init__(
+        self,
+        key_bits: int = 64,
+        bits_per_key: float = 22.0,
+        point_fraction: float = 0.45,
+    ) -> None:
+        if not 0.0 < point_fraction < 1.0:
+            raise FilterBuildError(
+                f"point_fraction must be in (0, 1), got {point_fraction}"
+            )
+        self.key_bits = key_bits
+        self.bits_per_key = bits_per_key
+        self.point_fraction = point_fraction
+        self._bloom: BloomPointFilter | None = None
+        self._surf: SurfFilter | None = None
+
+    def populate(self, keys: Sequence[int]) -> None:
+        """Build both structures over the same keys."""
+        if self._bloom is not None:
+            raise FilterBuildError("CombinedPointRangeFilter already populated")
+        point_budget = self.bits_per_key * self.point_fraction
+        range_budget = self.bits_per_key - point_budget
+        self._bloom = BloomPointFilter(
+            key_bits=self.key_bits, bits_per_key=point_budget
+        )
+        self._bloom.populate(keys)
+        self._surf = SurfFilter(
+            key_bits=self.key_bits, variant="real", bits_per_key=range_budget
+        )
+        self._surf.populate(keys)
+
+    def may_contain(self, key: int) -> bool:
+        """Point queries go to the Bloom filter only."""
+        return self._require()[0].may_contain(key)
+
+    def may_contain_range(self, low: int, high: int) -> bool:
+        """Range queries go to the SuRF only (points to the Bloom filter)."""
+        if low == high:
+            return self.may_contain(low)
+        return self._require()[1].may_contain_range(low, high)
+
+    def size_in_bits(self) -> int:
+        """Sum of both structures (the cost of keeping two filters)."""
+        bloom, surf = self._require()
+        return bloom.size_in_bits() + surf.size_in_bits()
+
+    def serialize(self) -> bytes:
+        """Length-prefixed Bloom payload, then the SuRF payload."""
+        bloom, surf = self._require()
+        bloom_payload = bloom.serialize()
+        return (
+            len(bloom_payload).to_bytes(8, "little")
+            + bloom_payload
+            + surf.serialize()
+        )
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "CombinedPointRangeFilter":
+        """Reconstruct from :meth:`serialize` output."""
+        bloom_len = int.from_bytes(payload[:8], "little")
+        bloom = BloomPointFilter.deserialize(payload[8 : 8 + bloom_len])
+        surf = SurfFilter.deserialize(payload[8 + bloom_len :])
+        filt = cls(key_bits=bloom.key_bits)
+        filt._bloom = bloom
+        filt._surf = surf
+        return filt
+
+    def probe_count(self) -> int:
+        if self._bloom is None:
+            return 0
+        return self._bloom.probe_count() + self._surf.probe_count()
+
+    def reset_probe_count(self) -> None:
+        if self._bloom is not None:
+            self._bloom.reset_probe_count()
+            self._surf.reset_probe_count()
+
+    def _require(self) -> tuple[BloomPointFilter, SurfFilter]:
+        if self._bloom is None or self._surf is None:
+            raise FilterBuildError("CombinedPointRangeFilter not populated yet")
+        return self._bloom, self._surf
+
+
+register_filter_codec(
+    CombinedPointRangeFilter.name, CombinedPointRangeFilter.deserialize
+)

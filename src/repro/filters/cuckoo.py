@@ -1,0 +1,185 @@
+"""Cuckoo filter [37] — the other hash-based point filter the paper cites.
+
+Included for completeness of the §1 taxonomy ("hash-based filters such as
+Bloom and Cuckoo filters" are key-distribution independent).  Like the plain
+Bloom filter it supports point queries only; ranges pass through.
+
+Standard partial-key cuckoo hashing: 4-slot buckets, fingerprints, and the
+``alt = bucket XOR hash(fingerprint)`` kick rule from Fan et al.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.hashing import hash_int, splitmix64
+from repro.errors import FilterBuildError, FilterQueryError
+from repro.filters.base import KeyFilter, register_filter_codec
+
+__all__ = ["CuckooFilter"]
+
+_SLOTS_PER_BUCKET = 4
+_MAX_KICKS = 500
+_EMPTY = 0
+
+
+def _next_power_of_two(value: int) -> int:
+    return 1 << (value - 1).bit_length() if value > 1 else 1
+
+
+class CuckooFilter(KeyFilter):
+    """4-way bucketed cuckoo filter over integer keys.
+
+    Parameters
+    ----------
+    key_bits:
+        Width of the key domain.
+    bits_per_key:
+        Memory budget per key; the fingerprint width adapts to it
+        (``f ~= bits_per_key * load_factor``), clamped to [4, 16] bits.
+    seed:
+        Seed for the (deterministic) kick randomisation.
+    """
+
+    name = "cuckoo"
+
+    def __init__(
+        self, key_bits: int = 64, bits_per_key: float = 10.0, seed: int = 7
+    ) -> None:
+        if bits_per_key <= 0:
+            raise FilterBuildError(f"bits_per_key must be > 0, got {bits_per_key}")
+        self.key_bits = key_bits
+        self.bits_per_key = bits_per_key
+        self.seed = seed
+        self.fingerprint_bits = max(4, min(16, int(bits_per_key * 0.95)))
+        self._buckets: list[list[int]] | None = None
+        self._probes = 0
+
+    # ------------------------------------------------------------------
+    # Hashing helpers
+    # ------------------------------------------------------------------
+    def _fingerprint(self, key: int) -> int:
+        fp = hash_int(key, seed=0xF1A9) & ((1 << self.fingerprint_bits) - 1)
+        return fp or 1  # reserve 0 for "empty slot"
+
+    def _bucket_index(self, key: int) -> int:
+        return hash_int(key, seed=0xB0C4) % len(self._buckets)
+
+    def _alt_index(self, index: int, fingerprint: int) -> int:
+        return (index ^ splitmix64(fingerprint)) % len(self._buckets)
+
+    # ------------------------------------------------------------------
+    # KeyFilter interface
+    # ------------------------------------------------------------------
+    def populate(self, keys: Sequence[int]) -> None:
+        """Insert all keys via cuckoo kicking; grows on insertion failure."""
+        if self._buckets is not None:
+            raise FilterBuildError("CuckooFilter is already populated")
+        unique = sorted(set(int(k) for k in keys))
+        total_bits = max(1, int(round(self.bits_per_key * max(1, len(unique)))))
+        # The xor-based alternate-bucket rule is an involution only when the
+        # bucket count is a power of two (as in the original cuckoo filter).
+        num_buckets = _next_power_of_two(
+            max(1, total_bits // (self.fingerprint_bits * _SLOTS_PER_BUCKET))
+        )
+        rng = random.Random(self.seed)
+        while True:
+            self._buckets = [
+                [_EMPTY] * _SLOTS_PER_BUCKET for _ in range(num_buckets)
+            ]
+            if all(self._insert(key, rng) for key in unique):
+                return
+            num_buckets *= 2
+
+    def _insert(self, key: int, rng: random.Random) -> bool:
+        fingerprint = self._fingerprint(key)
+        index = self._bucket_index(key)
+        for candidate in (index, self._alt_index(index, fingerprint)):
+            bucket = self._buckets[candidate]
+            for slot, value in enumerate(bucket):
+                if value == _EMPTY:
+                    bucket[slot] = fingerprint
+                    return True
+        # Kick loop.
+        current = rng.choice((index, self._alt_index(index, fingerprint)))
+        for _ in range(_MAX_KICKS):
+            slot = rng.randrange(_SLOTS_PER_BUCKET)
+            fingerprint, self._buckets[current][slot] = (
+                self._buckets[current][slot],
+                fingerprint,
+            )
+            current = self._alt_index(current, fingerprint)
+            bucket = self._buckets[current]
+            for slot, value in enumerate(bucket):
+                if value == _EMPTY:
+                    bucket[slot] = fingerprint
+                    return True
+        return False
+
+    def may_contain(self, key: int) -> bool:
+        """Probe the two candidate buckets for the key's fingerprint."""
+        buckets = self._require_populated()
+        self._probes += 1
+        fingerprint = self._fingerprint(int(key))
+        index = self._bucket_index(int(key))
+        if fingerprint in buckets[index]:
+            return True
+        return fingerprint in buckets[self._alt_index(index, fingerprint)]
+
+    def may_contain_range(self, low: int, high: int) -> bool:
+        """Point-only filter: size-1 ranges probe, larger ranges pass."""
+        if low > high:
+            raise FilterQueryError(f"invalid range: low={low} > high={high}")
+        if low == high:
+            return self.may_contain(low)
+        return True
+
+    def size_in_bits(self) -> int:
+        """Fingerprint storage only (table overhead excluded, as usual)."""
+        buckets = self._require_populated()
+        return len(buckets) * _SLOTS_PER_BUCKET * self.fingerprint_bits
+
+    def serialize(self) -> bytes:
+        """Serialize headers plus fingerprint slots (2 bytes per slot)."""
+        buckets = self._require_populated()
+        parts = [
+            self.key_bits.to_bytes(2, "little"),
+            self.fingerprint_bits.to_bytes(1, "little"),
+            len(buckets).to_bytes(8, "little"),
+        ]
+        for bucket in buckets:
+            for value in bucket:
+                parts.append(value.to_bytes(2, "little"))
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "CuckooFilter":
+        """Reconstruct from :meth:`serialize` output."""
+        filt = cls(key_bits=int.from_bytes(payload[:2], "little"))
+        filt.fingerprint_bits = payload[2]
+        num_buckets = int.from_bytes(payload[3:11], "little")
+        offset = 11
+        buckets = []
+        for _ in range(num_buckets):
+            bucket = []
+            for _ in range(_SLOTS_PER_BUCKET):
+                bucket.append(int.from_bytes(payload[offset : offset + 2], "little"))
+                offset += 2
+            buckets.append(bucket)
+        filt._buckets = buckets
+        return filt
+
+    def probe_count(self) -> int:
+        return self._probes
+
+    def reset_probe_count(self) -> None:
+        self._probes = 0
+
+    def _require_populated(self) -> list[list[int]]:
+        if self._buckets is None:
+            raise FilterBuildError("CuckooFilter not populated yet")
+        return self._buckets
+
+
+register_filter_codec(CuckooFilter.name, CuckooFilter.deserialize)

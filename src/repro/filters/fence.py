@@ -1,0 +1,133 @@
+"""Fence-pointer pseudo-filter — vanilla RocksDB's only range pruning.
+
+LSM stores keep per-page fence pointers (min/max key of each disk page) in
+memory.  They can rule out a query range only when it falls entirely outside
+the run's key span or inside a *gap* between one page's max key and the next
+page's min key.  For dense key sets and short ranges this almost never
+happens — which is exactly why vanilla RocksDB is the slowest baseline in
+Fig. 5(D).
+
+This standalone model stores (min, max) per simulated page so the benchmark
+harness can evaluate fence pruning in isolation; the real per-SST fence
+pointers used by the store live in :mod:`repro.lsm.sstable`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from repro.errors import FilterBuildError, FilterQueryError
+from repro.filters.base import KeyFilter, register_filter_codec
+
+__all__ = ["FencePointerFilter"]
+
+
+class FencePointerFilter(KeyFilter):
+    """Min/max-per-page fence pointers exposed through the filter template.
+
+    Parameters
+    ----------
+    key_bits:
+        Width of the key domain (used only for serialization sizing).
+    keys_per_page:
+        Number of keys covered by each simulated disk page.
+    """
+
+    name = "fence"
+
+    def __init__(self, key_bits: int = 64, keys_per_page: int = 64) -> None:
+        if keys_per_page < 1:
+            raise FilterBuildError(
+                f"keys_per_page must be >= 1, got {keys_per_page}"
+            )
+        self.key_bits = key_bits
+        self.keys_per_page = keys_per_page
+        self._page_mins: list[int] | None = None
+        self._page_maxs: list[int] = []
+        self._probes = 0
+
+    def populate(self, keys: Sequence[int]) -> None:
+        """Record the min and max key of every page of sorted keys."""
+        if self._page_mins is not None:
+            raise FilterBuildError("FencePointerFilter is already populated")
+        ordered = sorted(set(int(k) for k in keys))
+        self._page_mins = []
+        self._page_maxs = []
+        for start in range(0, len(ordered), self.keys_per_page):
+            page = ordered[start : start + self.keys_per_page]
+            self._page_mins.append(page[0])
+            self._page_maxs.append(page[-1])
+
+    def may_contain(self, key: int) -> bool:
+        """A point is ruled out only when it falls in an inter-page gap."""
+        return self.may_contain_range(key, key)
+
+    def may_contain_range(self, low: int, high: int) -> bool:
+        """``False`` iff the range overlaps no page's [min, max] span."""
+        if low > high:
+            raise FilterQueryError(f"invalid range: low={low} > high={high}")
+        mins = self._require_populated()
+        self._probes += 1
+        if not mins:
+            return False
+        # Find the last page whose min <= high; the range can only intersect
+        # that page or the gap after an earlier page.
+        idx = bisect.bisect_right(mins, high) - 1
+        if idx < 0:
+            return False  # entirely before the first page
+        return self._page_maxs[idx] >= low
+
+    def size_in_bits(self) -> int:
+        """Two keys of memory per page."""
+        return 2 * self.key_bits * len(self._page_maxs)
+
+    def serialize(self) -> bytes:
+        """Serialize headers plus the fence arrays."""
+        mins = self._require_populated()
+        parts = [
+            self.key_bits.to_bytes(2, "little"),
+            self.keys_per_page.to_bytes(4, "little"),
+            len(mins).to_bytes(8, "little"),
+        ]
+        width = (self.key_bits + 7) // 8
+        for value in mins:
+            parts.append(value.to_bytes(width, "little"))
+        for value in self._page_maxs:
+            parts.append(value.to_bytes(width, "little"))
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "FencePointerFilter":
+        """Reconstruct from :meth:`serialize` output."""
+        key_bits = int.from_bytes(payload[:2], "little")
+        keys_per_page = int.from_bytes(payload[2:6], "little")
+        count = int.from_bytes(payload[6:14], "little")
+        width = (key_bits + 7) // 8
+        filt = cls(key_bits=key_bits, keys_per_page=keys_per_page)
+        offset = 14
+        mins = []
+        for _ in range(count):
+            mins.append(int.from_bytes(payload[offset : offset + width], "little"))
+            offset += width
+        maxs = []
+        for _ in range(count):
+            maxs.append(int.from_bytes(payload[offset : offset + width], "little"))
+            offset += width
+        filt._page_mins = mins
+        filt._page_maxs = maxs
+        return filt
+
+    def probe_count(self) -> int:
+        return self._probes
+
+    def reset_probe_count(self) -> None:
+        self._probes = 0
+
+    def _require_populated(self) -> list[int]:
+        if self._page_mins is None:
+            raise FilterBuildError("FencePointerFilter not populated yet")
+        return self._page_mins
+
+
+register_filter_codec(FencePointerFilter.name, FencePointerFilter.deserialize)

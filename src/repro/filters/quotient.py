@@ -1,0 +1,234 @@
+"""Quotient filter [9] — the third hash-based point filter of §1.
+
+Bender et al.'s cache-friendly Bloom-filter alternative: a fingerprint is
+split into a *quotient* (the canonical slot index) and a *remainder*
+(stored in the slot); collisions shift remainders into subsequent slots,
+with three metadata bits per slot (``is_occupied``, ``is_continuation``,
+``is_shifted``) encoding run/cluster structure so lookups can recover each
+remainder's canonical slot.
+
+Because filters in this library are built once over a known key set, the
+table is laid out *directly from sorted fingerprints* — runs are placed
+left to right, shifting tracked as layout overflows canonical slots — so
+the intricate insert-time shifting machinery is unnecessary.  Lookups use
+the standard cluster-scan algorithm.  The table carries overflow slack
+instead of wrapping, which keeps cluster scans linear and simple.
+
+Like Bloom and Cuckoo filters, it serves point queries only; ranges pass.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.hashing import hash_int
+from repro.errors import FilterBuildError, FilterQueryError
+from repro.filters.base import KeyFilter, register_filter_codec
+
+__all__ = ["QuotientFilter"]
+
+#: Target fraction of canonical slots in use after a build.
+_TARGET_LOAD = 0.75
+
+#: Extra non-canonical slots so clusters never need to wrap.
+_OVERFLOW_SLACK = 64
+
+_OCCUPIED = 1
+_CONTINUATION = 2
+_SHIFTED = 4
+
+
+class QuotientFilter(KeyFilter):
+    """Immutable quotient filter over integer keys.
+
+    Parameters
+    ----------
+    key_bits:
+        Key domain width.
+    bits_per_key:
+        Memory budget; the remainder width adapts as
+        ``r ~= bits_per_key * load - 3`` so total slot memory
+        ``2^q * (r + 3)`` tracks the budget.
+    """
+
+    name = "quotient"
+
+    def __init__(self, key_bits: int = 64, bits_per_key: float = 10.0) -> None:
+        if bits_per_key <= 4:
+            raise FilterBuildError(
+                f"bits_per_key must exceed the 3 metadata bits + 1, "
+                f"got {bits_per_key}"
+            )
+        self.key_bits = key_bits
+        self.bits_per_key = bits_per_key
+        self.quotient_bits = 0
+        self.remainder_bits = 0
+        self._meta: list[int] | None = None  # 3 flag bits per slot
+        self._remainders: list[int] = []
+        self._probes = 0
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def _fingerprint(self, key: int) -> tuple[int, int]:
+        total_bits = self.quotient_bits + self.remainder_bits
+        fingerprint = hash_int(int(key), seed=0x9F0C) & ((1 << total_bits) - 1)
+        return fingerprint >> self.remainder_bits, fingerprint & (
+            (1 << self.remainder_bits) - 1
+        )
+
+    def populate(self, keys: Sequence[int]) -> None:
+        """Lay out all fingerprints from sorted order (no shifting loop)."""
+        if self._meta is not None:
+            raise FilterBuildError("QuotientFilter is already populated")
+        unique = sorted(set(int(k) for k in keys))
+        count = max(1, len(unique))
+        self.quotient_bits = max(1, math.ceil(math.log2(count / _TARGET_LOAD)))
+        # Memory target: 2^q * (r + 3) ~= bits_per_key * n.
+        slots = 1 << self.quotient_bits
+        self.remainder_bits = max(
+            1, int(round(self.bits_per_key * count / slots)) - 3
+        )
+
+        # Group fingerprints by quotient.
+        by_quotient: dict[int, set[int]] = {}
+        for key in unique:
+            quotient, remainder = self._fingerprint(key)
+            by_quotient.setdefault(quotient, set()).add(remainder)
+
+        num_slots = slots + _OVERFLOW_SLACK
+        self._meta = [0] * num_slots
+        self._remainders = [0] * num_slots
+        next_free = 0
+        for quotient in sorted(by_quotient):
+            run = sorted(by_quotient[quotient])
+            start = max(quotient, next_free)
+            if start + len(run) > num_slots:
+                raise FilterBuildError(
+                    "quotient filter overflow slack exhausted; "
+                    "increase bits_per_key"
+                )
+            self._meta[quotient] |= _OCCUPIED
+            for offset, remainder in enumerate(run):
+                slot = start + offset
+                self._remainders[slot] = remainder
+                if offset > 0:
+                    self._meta[slot] |= _CONTINUATION
+                if slot != quotient:
+                    self._meta[slot] |= _SHIFTED
+            next_free = start + len(run)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def may_contain(self, key: int) -> bool:
+        """Standard quotient-filter cluster scan."""
+        meta = self._require_populated()
+        self._probes += 1
+        quotient, remainder = self._fingerprint(int(key))
+        if not meta[quotient] & _OCCUPIED:
+            return False
+        # Walk back to the cluster start.
+        slot = quotient
+        while meta[slot] & _SHIFTED:
+            slot -= 1
+        # Walk forward run by run until we reach fq's run.
+        run_start = slot
+        while slot != quotient:
+            # Skip to the end of the current run.
+            run_start += 1
+            while meta[run_start] & _CONTINUATION:
+                run_start += 1
+            # Advance to the next canonical slot that has a run.
+            slot += 1
+            while not meta[slot] & _OCCUPIED:
+                slot += 1
+        # Scan fq's run for the remainder (runs are sorted).
+        position = run_start
+        while True:
+            stored = self._remainders[position]
+            if stored == remainder:
+                return True
+            if stored > remainder:
+                return False
+            position += 1
+            if position >= len(meta) or not meta[position] & _CONTINUATION:
+                return False
+
+    def may_contain_range(self, low: int, high: int) -> bool:
+        """Point-only filter: size-1 ranges probe, larger ranges pass."""
+        if low > high:
+            raise FilterQueryError(f"invalid range: low={low} > high={high}")
+        if low == high:
+            return self.may_contain(low)
+        return True
+
+    # ------------------------------------------------------------------
+    # Accounting / serialization
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Slot memory: (r + 3) bits per slot."""
+        meta = self._require_populated()
+        return len(meta) * (self.remainder_bits + 3)
+
+    def load_factor(self) -> float:
+        """Fraction of slots in use."""
+        meta = self._require_populated()
+        used = sum(
+            1
+            for flags, remainder in zip(meta, self._remainders)
+            if flags or remainder
+        )
+        return used / len(meta)
+
+    def serialize(self) -> bytes:
+        """Headers plus per-slot (flags, remainder) pairs."""
+        meta = self._require_populated()
+        width = (self.remainder_bits + 7) // 8
+        parts = [
+            self.key_bits.to_bytes(2, "little"),
+            self.quotient_bits.to_bytes(1, "little"),
+            self.remainder_bits.to_bytes(1, "little"),
+            len(meta).to_bytes(8, "little"),
+        ]
+        for flags, remainder in zip(meta, self._remainders):
+            parts.append(bytes([flags]))
+            parts.append(remainder.to_bytes(width, "little"))
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "QuotientFilter":
+        """Reconstruct from :meth:`serialize` output."""
+        filt = cls(key_bits=int.from_bytes(payload[:2], "little"))
+        filt.quotient_bits = payload[2]
+        filt.remainder_bits = payload[3]
+        num_slots = int.from_bytes(payload[4:12], "little")
+        width = (filt.remainder_bits + 7) // 8
+        meta: list[int] = []
+        remainders: list[int] = []
+        offset = 12
+        for _ in range(num_slots):
+            meta.append(payload[offset])
+            offset += 1
+            remainders.append(
+                int.from_bytes(payload[offset : offset + width], "little")
+            )
+            offset += width
+        filt._meta = meta
+        filt._remainders = remainders
+        return filt
+
+    def probe_count(self) -> int:
+        return self._probes
+
+    def reset_probe_count(self) -> None:
+        self._probes = 0
+
+    def _require_populated(self) -> list[int]:
+        if self._meta is None:
+            raise FilterBuildError("QuotientFilter not populated yet")
+        return self._meta
+
+
+register_filter_codec(QuotientFilter.name, QuotientFilter.deserialize)

@@ -1,0 +1,106 @@
+"""Adapter exposing :class:`repro.core.Rosetta` through the filter template.
+
+The core class already implements every capability; this wrapper pins build
+parameters so the LSM store can rebuild instances per run, tracks probe
+counts via the core's :class:`~repro.core.rosetta.ProbeStats`, and plugs into
+the serialization envelope registry.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.rosetta import Rosetta
+from repro.errors import FilterBuildError
+from repro.filters.base import KeyFilter, register_filter_codec
+
+__all__ = ["RosettaFilter"]
+
+
+class RosettaFilter(KeyFilter):
+    """Rosetta behind the :class:`~repro.filters.base.KeyFilter` template.
+
+    Parameters mirror :meth:`repro.core.Rosetta.build`.
+    """
+
+    name = "rosetta"
+
+    def __init__(
+        self,
+        key_bits: int = 64,
+        bits_per_key: float = 22.0,
+        max_range: int = 64,
+        strategy: str = "optimized",
+        range_size_histogram: Mapping[int, float] | None = None,
+    ) -> None:
+        self.key_bits = key_bits
+        self.bits_per_key = bits_per_key
+        self.max_range = max_range
+        self.strategy = strategy
+        self.range_size_histogram = (
+            dict(range_size_histogram) if range_size_histogram else None
+        )
+        self._rosetta: Rosetta | None = None
+
+    def populate(self, keys: Sequence[int]) -> None:
+        """Build the underlying Rosetta over ``keys``."""
+        if self._rosetta is not None:
+            raise FilterBuildError("RosettaFilter is already populated")
+        self._rosetta = Rosetta.build(
+            keys,
+            key_bits=self.key_bits,
+            bits_per_key=self.bits_per_key,
+            max_range=self.max_range,
+            strategy=self.strategy,
+            range_size_histogram=self.range_size_histogram,
+        )
+
+    @property
+    def rosetta(self) -> Rosetta:
+        """The wrapped core filter (raises if not populated)."""
+        return self._require_populated()
+
+    def may_contain(self, key: int) -> bool:
+        """Point lookup on the full-key level only (§2.2.2)."""
+        return self._require_populated().may_contain(int(key))
+
+    def may_contain_range(self, low: int, high: int) -> bool:
+        """Dyadic decomposition + recursive doubting (Algorithm 2)."""
+        return self._require_populated().may_contain_range(low, high)
+
+    def tightened_range(self, low: int, high: int) -> tuple[int, int] | None:
+        """§2.2.1 effective-range tightening."""
+        return self._require_populated().tightened_range(low, high)
+
+    def size_in_bits(self) -> int:
+        """Total memory across all Bloom-filter levels."""
+        return self._require_populated().size_in_bits()
+
+    def serialize(self) -> bytes:
+        """Serialize the full multi-level structure."""
+        return self._require_populated().to_bytes()
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "RosettaFilter":
+        """Reconstruct from :meth:`serialize` output."""
+        rosetta = Rosetta.from_bytes(payload)
+        filt = cls(key_bits=rosetta.key_bits)
+        filt._rosetta = rosetta
+        return filt
+
+    def probe_count(self) -> int:
+        if self._rosetta is None:
+            return 0
+        return self._rosetta.stats.bloom_probes
+
+    def reset_probe_count(self) -> None:
+        if self._rosetta is not None:
+            self._rosetta.stats.reset()
+
+    def _require_populated(self) -> Rosetta:
+        if self._rosetta is None:
+            raise FilterBuildError("RosettaFilter not populated yet")
+        return self._rosetta
+
+
+register_filter_codec(RosettaFilter.name, RosettaFilter.deserialize)

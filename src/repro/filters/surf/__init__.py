@@ -1,0 +1,17 @@
+"""SuRF [74] — succinct range filter with LOUDS-Dense/Sparse encodings."""
+
+from repro.filters.surf.bitvector import RankBitVector
+from repro.filters.surf.builder import CulledTrie, build_culled_trie
+from repro.filters.surf.louds_dense import LoudsDense
+from repro.filters.surf.louds_sparse import LoudsSparse
+from repro.filters.surf.surf import SuRF, SurfFilter
+
+__all__ = [
+    "CulledTrie",
+    "LoudsDense",
+    "LoudsSparse",
+    "RankBitVector",
+    "SuRF",
+    "SurfFilter",
+    "build_culled_trie",
+]

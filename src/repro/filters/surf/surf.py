@@ -1,0 +1,574 @@
+"""SuRF — the Succinct Range Filter of Zhang et al. [74], reimplemented.
+
+SuRF culls the trie of its keys at the shortest unique prefixes, encodes the
+upper levels with LOUDS-Dense bitmaps and the lower levels with LOUDS-Sparse
+arrays, and optionally stores per-key *suffix* bits:
+
+* **SuRF-Base** — structure only.
+* **SuRF-Hash** — ``s`` hash bits of each full key, improving point queries
+  (not range queries).
+* **SuRF-Real** — the ``s`` key bits following the culled prefix, improving
+  both point and (weakly) range queries.
+
+Range emptiness is answered by seeking the first stored (culled) key whose
+represented interval can reach the query's low bound, then checking whether
+that interval starts at or below the high bound — the trie-order
+``move_to_key_greater_than`` operation of the original implementation.
+
+The integer-domain adapter (:class:`SurfFilter`) plugs SuRF into the master
+filter template, including the paper's procedure for fitting the suffix
+length to a memory budget (§5, "Workload and Setup").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.core.bitarray import BitArray
+from repro.core.hashing import hash_bytes
+from repro.errors import FilterBuildError, FilterQueryError, SerializationError
+from repro.filters.base import KeyFilter, register_filter_codec
+from repro.filters.surf.builder import TERM_SYMBOL, build_culled_trie
+from repro.filters.surf.louds_dense import LoudsDense
+from repro.filters.surf.louds_sparse import LoudsSparse
+
+Variant = Literal["base", "hash", "real"]
+
+#: LOUDS-DS size ratio: levels are encoded dense while the dense encoding
+#: stays below (total sparse-encoded size) / ratio.  64 in the SuRF paper.
+DENSE_SIZE_RATIO = 64
+
+__all__ = ["SuRF", "SurfFilter", "DENSE_SIZE_RATIO"]
+
+
+class _SuffixStore:
+    """Fixed-width packed suffix bits, one slot per leaf."""
+
+    __slots__ = ("suffix_bits", "_bits", "num_slots")
+
+    def __init__(self, suffix_bits: int, num_slots: int) -> None:
+        self.suffix_bits = suffix_bits
+        self.num_slots = num_slots
+        self._bits = BitArray(suffix_bits * num_slots)
+
+    def put(self, slot: int, value: int) -> None:
+        base = slot * self.suffix_bits
+        for bit in range(self.suffix_bits):
+            if (value >> (self.suffix_bits - 1 - bit)) & 1:
+                self._bits.set(base + bit)
+
+    def get(self, slot: int) -> int:
+        base = slot * self.suffix_bits
+        value = 0
+        for bit in range(self.suffix_bits):
+            value = (value << 1) | self._bits.test(base + bit)
+        return value
+
+    def size_in_bits(self) -> int:
+        return self._bits.num_bits
+
+    def to_bytes(self) -> bytes:
+        header = self.suffix_bits.to_bytes(2, "little") + self.num_slots.to_bytes(
+            8, "little"
+        )
+        return header + self._bits.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "_SuffixStore":
+        store = cls.__new__(cls)
+        store.suffix_bits = int.from_bytes(payload[:2], "little")
+        store.num_slots = int.from_bytes(payload[2:10], "little")
+        store._bits = BitArray.from_bytes(payload[10:])
+        return store
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    """Result of a trie seek: the leaf's root path and its value slot."""
+
+    path: tuple[int, ...]  # symbols from the root, possibly ending in TERM
+    value_index: int
+
+    def prefix_bytes(self) -> bytes:
+        """The culled key prefix (terminator stripped)."""
+        symbols = self.path
+        if symbols and symbols[-1] == TERM_SYMBOL:
+            symbols = symbols[:-1]
+        return bytes(symbol - 1 for symbol in symbols)
+
+    @property
+    def is_exact_key(self) -> bool:
+        """Terminator leaves represent exactly one key, no extensions."""
+        return bool(self.path) and self.path[-1] == TERM_SYMBOL
+
+
+class SuRF:
+    """Succinct range filter over byte-string keys.
+
+    Build with :meth:`build`; query with :meth:`may_contain` and
+    :meth:`may_contain_range`.  Instances are immutable.
+    """
+
+    def __init__(
+        self,
+        dense: LoudsDense,
+        sparse: LoudsSparse,
+        suffixes: _SuffixStore,
+        variant: Variant,
+        num_keys: int,
+    ) -> None:
+        self._dense = dense
+        self._sparse = sparse
+        self._suffixes = suffixes
+        self.variant = variant
+        self.num_keys = num_keys
+        self.node_probes = 0  # cumulative traversal cost counter
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        keys: Sequence[bytes],
+        variant: Variant = "real",
+        suffix_bits: int = 8,
+        dense_levels: int | None = None,
+    ) -> "SuRF":
+        """Build a SuRF over byte-string keys.
+
+        Parameters
+        ----------
+        keys:
+            Byte strings; sorted+deduplicated internally.
+        variant:
+            ``base`` (no suffixes), ``hash``, or ``real``.
+        suffix_bits:
+            Suffix width per key (ignored for ``base``).
+        dense_levels:
+            Number of top levels to encode LOUDS-Dense.  ``None`` applies
+            the LOUDS-DS size-ratio rule.
+        """
+        if variant not in ("base", "hash", "real"):
+            raise FilterBuildError(f"unknown SuRF variant {variant!r}")
+        if variant == "base":
+            suffix_bits = 0
+        if suffix_bits < 0 or suffix_bits > 64:
+            raise FilterBuildError(
+                f"suffix_bits must be in [0, 64], got {suffix_bits}"
+            )
+        ordered = sorted(set(bytes(k) for k in keys))
+        trie = build_culled_trie(ordered)
+
+        if dense_levels is None:
+            dense_levels = cls._auto_dense_levels(trie)
+        dense_levels = max(0, min(dense_levels, len(trie.levels)))
+        dense = LoudsDense.from_levels(trie.levels[:dense_levels])
+        sparse = LoudsSparse.from_levels(trie.levels[dense_levels:])
+
+        leaf_key_ids = trie.leaf_key_ids_in_order()
+        suffixes = _SuffixStore(suffix_bits, len(leaf_key_ids))
+        if suffix_bits:
+            for slot, key_id in enumerate(leaf_key_ids):
+                key = ordered[key_id]
+                if variant == "hash":
+                    value = hash_bytes(key) & ((1 << suffix_bits) - 1)
+                else:
+                    value = _real_suffix(key, trie.cull_depths[key_id], suffix_bits)
+                suffixes.put(slot, value)
+        return cls(dense, sparse, suffixes, variant, len(ordered))
+
+    @staticmethod
+    def _auto_dense_levels(trie) -> int:
+        """Apply the LOUDS-DS rule: dense while cheap relative to the trie."""
+        total_sparse_bits = trie.num_edges * 10
+        cutoff = 0
+        dense_bits = 0
+        for level in trie.levels:
+            dense_bits += level.num_nodes * (2 * 256 + 1)
+            if dense_bits * DENSE_SIZE_RATIO > max(total_sparse_bits, 1):
+                break
+            cutoff += 1
+        return cutoff
+
+    # ------------------------------------------------------------------
+    # Shape / accounting
+    # ------------------------------------------------------------------
+    @property
+    def suffix_bits(self) -> int:
+        """Stored suffix width per key."""
+        return self._suffixes.suffix_bits
+
+    def size_in_bits(self) -> int:
+        """Succinct-encoding cost: dense + sparse + suffixes."""
+        return (
+            self._dense.size_in_bits()
+            + self._sparse.size_in_bits()
+            + self._suffixes.size_in_bits()
+        )
+
+    def structure_bits(self) -> int:
+        """Trie-structure cost only (excludes suffixes)."""
+        return self._dense.size_in_bits() + self._sparse.size_in_bits()
+
+    # ------------------------------------------------------------------
+    # Node navigation across the two regions
+    # ------------------------------------------------------------------
+    # A node handle is ('d', dense_node_id) or ('s', sparse_local_id).
+
+    def _root(self) -> tuple[str, int]:
+        if self._dense.num_nodes > 0:
+            return ("d", 0)
+        return ("s", 0)
+
+    def _smallest_edge_ge(self, node: tuple[str, int], symbol: int):
+        """Smallest out-edge of ``node`` with symbol >= ``symbol``.
+
+        Returns ``(symbol, edge_ref)`` or ``None``; ``edge_ref`` is the
+        symbol again for dense nodes or the label position for sparse nodes.
+        """
+        self.node_probes += 1
+        region, node_id = node
+        if region == "d":
+            found = self._dense.smallest_label_ge(node_id, symbol)
+            if found is None:
+                return None
+            return found, found
+        found = self._sparse.smallest_label_ge(node_id, symbol)
+        if found is None:
+            return None
+        return found[0], found[1]
+
+    def _edge_is_leaf(self, node: tuple[str, int], edge_ref: int) -> bool:
+        region, node_id = node
+        if region == "d":
+            return not self._dense.has_child(node_id, edge_ref)
+        return not self._sparse.edge_has_child(edge_ref)
+
+    def _edge_child(self, node: tuple[str, int], edge_ref: int) -> tuple[str, int]:
+        region, node_id = node
+        if region == "d":
+            child = self._dense.child_id(node_id, edge_ref)
+            if child < self._dense.num_nodes:
+                return ("d", child)
+            return ("s", child - self._dense.num_nodes)
+        return ("s", self._sparse.child_node(edge_ref))
+
+    def _edge_value_index(self, node: tuple[str, int], edge_ref: int) -> int:
+        region, node_id = node
+        if region == "d":
+            return self._dense.leaf_value_index(node_id, edge_ref)
+        return self._dense.num_leaves + self._sparse.leaf_value_index(edge_ref)
+
+    def _has_any_node(self) -> bool:
+        return self._dense.num_nodes > 0 or self._sparse.num_nodes > 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def may_contain(self, key: bytes) -> bool:
+        """Point lookup: ``False`` only if ``key`` is definitely absent."""
+        if self.num_keys == 0 or not self._has_any_node():
+            return False
+        key = bytes(key)
+        symbols = [byte + 1 for byte in key]
+        node = self._root()
+        for depth in range(len(symbols) + 1):
+            target = symbols[depth] if depth < len(symbols) else TERM_SYMBOL
+            found = self._smallest_edge_ge(node, target)
+            if found is None or found[0] != target:
+                return False
+            _, edge_ref = found
+            if self._edge_is_leaf(node, edge_ref):
+                if depth >= len(symbols):
+                    return True  # exact terminator match
+                return self._check_suffix(
+                    self._edge_value_index(node, edge_ref), key, depth + 1
+                )
+            node = self._edge_child(node, edge_ref)
+        return False
+
+    def _check_suffix(self, value_index: int, key: bytes, depth: int) -> bool:
+        """Compare stored suffix bits against the query key's."""
+        if self.suffix_bits == 0:
+            return True
+        stored = self._suffixes.get(value_index)
+        if self.variant == "hash":
+            probe = hash_bytes(key) & ((1 << self.suffix_bits) - 1)
+        else:
+            probe = _real_suffix(key, depth, self.suffix_bits)
+        return stored == probe
+
+    def may_contain_range(self, low: bytes, high: bytes) -> bool:
+        """Range emptiness for byte-string bounds (inclusive).
+
+        ``False`` only if no stored key can lie in ``[low, high]``.
+        """
+        low, high = bytes(low), bytes(high)
+        if low > high:
+            raise FilterQueryError(f"invalid range: low={low!r} > high={high!r}")
+        leaf = self.seek(low)
+        if leaf is None:
+            return False
+        prefix = leaf.prefix_bytes()
+        # The leaf covers keys extending `prefix`; its smallest
+        # representative is `prefix` itself (optionally refined by real
+        # suffix bytes).  Positive iff that representative can be <= high.
+        if self.variant == "real" and self.suffix_bits >= 8 and not leaf.is_exact_key:
+            whole_bytes = self.suffix_bits // 8
+            stored = self._suffixes.get(leaf.value_index)
+            stored >>= self.suffix_bits - whole_bytes * 8
+            # Trailing zero bytes may be padding for a key that ends inside
+            # the suffix window; only the non-zero head provably belongs to
+            # the stored key, so only it may tighten the minimal
+            # representative (keeping the refinement sound).
+            prefix = prefix + stored.to_bytes(whole_bytes, "big").rstrip(b"\x00")
+        # Byte-string order already treats a stored prefix as its own minimal
+        # extension ("ab" < "ab\x00..."), so a plain comparison is exact.
+        return prefix <= high
+
+    def seek(self, key: bytes) -> _Leaf | None:
+        """First leaf (trie order) whose represented interval reaches ``key``.
+
+        The original SuRF's ``moveToKeyGreaterThan``: returns the first
+        stored culled prefix whose largest possible extension is >= ``key``.
+        """
+        if self.num_keys == 0 or not self._has_any_node():
+            return None
+        symbols = [byte + 1 for byte in bytes(key)]
+        node = self._root()
+        path: list[int] = []
+        stack: list[tuple[tuple[str, int], int]] = []
+        depth = 0
+        while True:
+            target = symbols[depth] if depth < len(symbols) else TERM_SYMBOL
+            found = self._smallest_edge_ge(node, target)
+            if found is not None:
+                symbol, edge_ref = found
+                if symbol > target:
+                    return self._leftmost_leaf(node, symbol, edge_ref, path)
+                # symbol == target
+                if self._edge_is_leaf(node, edge_ref):
+                    path.append(symbol)
+                    return _Leaf(
+                        tuple(path), self._edge_value_index(node, edge_ref)
+                    )
+                stack.append((node, symbol))
+                path.append(symbol)
+                node = self._edge_child(node, edge_ref)
+                depth += 1
+                continue
+            # Backtrack to the first ancestor with a greater sibling edge.
+            while stack:
+                node, taken = stack.pop()
+                path.pop()
+                depth -= 1
+                found = self._smallest_edge_ge(node, taken + 1)
+                if found is not None:
+                    symbol, edge_ref = found
+                    return self._leftmost_leaf(node, symbol, edge_ref, path)
+            return None
+
+    def _leftmost_leaf(
+        self,
+        node: tuple[str, int],
+        symbol: int,
+        edge_ref: int,
+        path: list[int],
+    ) -> _Leaf:
+        """Descend smallest labels from ``(node, symbol)`` to the first leaf."""
+        path = list(path)
+        while True:
+            path.append(symbol)
+            if self._edge_is_leaf(node, edge_ref):
+                return _Leaf(tuple(path), self._edge_value_index(node, edge_ref))
+            node = self._edge_child(node, edge_ref)
+            found = self._smallest_edge_ge(node, TERM_SYMBOL)
+            if found is None:  # pragma: no cover - internal nodes have edges
+                raise FilterQueryError("corrupt trie: internal node with no edges")
+            symbol, edge_ref = found
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    _MAGIC = b"SURF2"
+    _VARIANT_CODES = {"base": 0, "hash": 1, "real": 2}
+
+    def to_bytes(self) -> bytes:
+        """Serialize the full structure (dense, sparse, suffixes)."""
+        dense_bytes = self._dense.to_bytes()
+        sparse_bytes = self._sparse.to_bytes()
+        suffix_bytes = self._suffixes.to_bytes()
+        return b"".join(
+            [
+                self._MAGIC,
+                bytes([self._VARIANT_CODES[self.variant]]),
+                self.num_keys.to_bytes(8, "little"),
+                len(dense_bytes).to_bytes(8, "little"),
+                dense_bytes,
+                len(sparse_bytes).to_bytes(8, "little"),
+                sparse_bytes,
+                len(suffix_bytes).to_bytes(8, "little"),
+                suffix_bytes,
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "SuRF":
+        """Reconstruct from :meth:`to_bytes` output."""
+        if payload[:5] != cls._MAGIC:
+            raise SerializationError("bad SuRF magic")
+        variant = {v: k for k, v in cls._VARIANT_CODES.items()}.get(payload[5])
+        if variant is None:
+            raise SerializationError(f"unknown SuRF variant code {payload[5]}")
+        num_keys = int.from_bytes(payload[6:14], "little")
+        offset = 14
+        sections: list[bytes] = []
+        for _ in range(3):
+            length = int.from_bytes(payload[offset : offset + 8], "little")
+            offset += 8
+            sections.append(payload[offset : offset + length])
+            offset += length
+        return cls(
+            LoudsDense.from_bytes(sections[0]),
+            LoudsSparse.from_bytes(sections[1]),
+            _SuffixStore.from_bytes(sections[2]),
+            variant,
+            num_keys,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SuRF(variant={self.variant!r}, keys={self.num_keys}, "
+            f"bits={self.size_in_bits()})"
+        )
+
+
+def _real_suffix(key: bytes, depth: int, suffix_bits: int) -> int:
+    """The ``suffix_bits`` key bits starting at byte offset ``depth``.
+
+    Keys shorter than the requested window are zero-padded, matching how a
+    culled prefix's minimal extension behaves.
+    """
+    if suffix_bits == 0:
+        return 0
+    needed_bytes = (suffix_bits + 7) // 8
+    window = key[depth : depth + needed_bytes]
+    window = window + b"\x00" * (needed_bytes - len(window))
+    value = int.from_bytes(window, "big")
+    return value >> (needed_bytes * 8 - suffix_bits)
+
+
+# ----------------------------------------------------------------------
+# Integer-domain adapter
+# ----------------------------------------------------------------------
+
+class SurfFilter(KeyFilter):
+    """SuRF behind the master filter template, over integer keys.
+
+    Integers are encoded big-endian at a fixed width so lexicographic byte
+    order equals numeric order.  ``fit_to_budget`` applies the paper's
+    procedure of trading suffix length for memory: the structural cost is
+    fixed, so the suffix width is set to the remaining per-key budget
+    (clamped at zero when even the structure exceeds the budget — the
+    paper's "minimum possible memory" fallback).
+    """
+
+    name = "surf"
+
+    def __init__(
+        self,
+        key_bits: int = 64,
+        variant: Variant = "real",
+        suffix_bits: int = 8,
+        bits_per_key: float | None = None,
+    ) -> None:
+        if key_bits < 1 or key_bits % 8:
+            raise FilterBuildError(
+                f"SurfFilter needs a byte-aligned key width, got {key_bits}"
+            )
+        self.key_bits = key_bits
+        self.variant = variant
+        self.suffix_bits = suffix_bits
+        self.bits_per_key = bits_per_key
+        self._surf: SuRF | None = None
+
+    def _encode(self, key: int) -> bytes:
+        if key < 0 or key >> self.key_bits:
+            raise FilterQueryError(
+                f"key {key} outside domain [0, 2^{self.key_bits})"
+            )
+        return int(key).to_bytes(self.key_bits // 8, "big")
+
+    def populate(self, keys: Sequence[int]) -> None:
+        """Build the trie; honours ``bits_per_key`` by fitting suffix width."""
+        if self._surf is not None:
+            raise FilterBuildError("SurfFilter is already populated")
+        encoded = sorted({self._encode(int(k)) for k in keys})
+        if self.bits_per_key is not None:
+            self._surf = self._fit_to_budget(encoded)
+        else:
+            self._surf = SuRF.build(
+                encoded, variant=self.variant, suffix_bits=self.suffix_bits
+            )
+
+    def _fit_to_budget(self, encoded: list[bytes]) -> SuRF:
+        """Size the suffix so total memory tracks ``bits_per_key``."""
+        probe = SuRF.build(encoded, variant="base", suffix_bits=0)
+        if not encoded:
+            return probe
+        budget_bits = self.bits_per_key * len(encoded)
+        spare = budget_bits - probe.structure_bits()
+        suffix_bits = int(max(0, min(64, spare // len(encoded))))
+        if suffix_bits == 0 or self.variant == "base":
+            self.suffix_bits = 0 if self.variant != "base" else self.suffix_bits
+            return probe
+        self.suffix_bits = suffix_bits
+        return SuRF.build(encoded, variant=self.variant, suffix_bits=suffix_bits)
+
+    def may_contain(self, key: int) -> bool:
+        """Point lookup."""
+        return self._require_populated().may_contain(self._encode(int(key)))
+
+    def may_contain_range(self, low: int, high: int) -> bool:
+        """Range-emptiness lookup."""
+        if low > high:
+            raise FilterQueryError(f"invalid range: low={low} > high={high}")
+        surf = self._require_populated()
+        return surf.may_contain_range(self._encode(int(low)), self._encode(int(high)))
+
+    def size_in_bits(self) -> int:
+        """Succinct-encoding memory cost."""
+        return self._require_populated().size_in_bits()
+
+    def serialize(self) -> bytes:
+        """Serialize: key width + SuRF payload."""
+        return self.key_bits.to_bytes(2, "little") + self._require_populated().to_bytes()
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "SurfFilter":
+        """Reconstruct from :meth:`serialize` output."""
+        key_bits = int.from_bytes(payload[:2], "little")
+        surf = SuRF.from_bytes(payload[2:])
+        filt = cls(key_bits=key_bits, variant=surf.variant,
+                   suffix_bits=surf.suffix_bits)
+        filt._surf = surf
+        return filt
+
+    def probe_count(self) -> int:
+        if self._surf is None:
+            return 0
+        return self._surf.node_probes
+
+    def reset_probe_count(self) -> None:
+        if self._surf is not None:
+            self._surf.node_probes = 0
+
+    def _require_populated(self) -> SuRF:
+        if self._surf is None:
+            raise FilterBuildError("SurfFilter not populated yet")
+        return self._surf
+
+
+register_filter_codec(SurfFilter.name, SurfFilter.deserialize)

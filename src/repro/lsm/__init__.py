@@ -1,0 +1,40 @@
+"""LSM-tree key-value store substrate (the paper's RocksDB stand-in).
+
+Public surface: :class:`~repro.lsm.db.DB` and
+:class:`~repro.lsm.options.DBOptions`; the building blocks (memtable, SST
+tables, block cache, compaction, iterators, stats, storage environment) are
+importable individually for tests and benchmarks.
+"""
+
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.db import DB
+from repro.lsm.env import DEVICE_PRESETS, DeviceModel, StorageEnv
+from repro.lsm.memtable import MemTable
+from repro.lsm.options import DBOptions
+from repro.lsm.perf_context import QueryContext
+from repro.lsm.repair import RepairOutcome, repair_store
+from repro.lsm.sst_dump import SstSummary, dump_sst, summarize_sst
+from repro.lsm.stats import PerfStats, Stopwatch
+from repro.lsm.verify import VerificationReport, verify_version
+from repro.lsm.write_batch import WriteBatch
+
+__all__ = [
+    "BlockCache",
+    "DB",
+    "DBOptions",
+    "DEVICE_PRESETS",
+    "DeviceModel",
+    "MemTable",
+    "PerfStats",
+    "QueryContext",
+    "RepairOutcome",
+    "SstSummary",
+    "StorageEnv",
+    "Stopwatch",
+    "VerificationReport",
+    "WriteBatch",
+    "dump_sst",
+    "repair_store",
+    "summarize_sst",
+    "verify_version",
+]

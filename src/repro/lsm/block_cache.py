@@ -1,0 +1,116 @@
+"""LRU block cache with a high-priority pool for filter/index blocks.
+
+Reproduces the RocksDB caching behaviour the paper configures (§4
+footnotes): ``cache_index_and_filter_blocks=true`` puts metadata blocks in
+the same cache as data blocks;
+``cache_index_and_filter_blocks_with_high_priority=true`` makes data blocks
+evict first; ``pin_l0_filter_and_index_blocks_in_cache=true`` exempts L0
+metadata from eviction entirely.
+
+Implementation: two LRU pools (low = data, high = filter/index) sharing one
+byte budget, plus a pinned set that is charged but never evicted.  Eviction
+drains the low-priority pool before touching the high-priority one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["BlockCache"]
+
+
+class BlockCache:
+    """Capacity-bounded block cache keyed by ``(file, offset)`` tuples."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._low: OrderedDict[Hashable, bytes] = OrderedDict()
+        self._high: OrderedDict[Hashable, bytes] = OrderedDict()
+        self._pinned: dict[Hashable, bytes] = {}
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> bytes | None:
+        """Return the cached block or None; refreshes LRU position."""
+        for pool in (self._pinned,):
+            if key in pool:
+                self.hits += 1
+                return pool[key]
+        for pool in (self._high, self._low):
+            if key in pool:
+                pool.move_to_end(key)
+                self.hits += 1
+                return pool[key]
+        self.misses += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        key: Hashable,
+        block: bytes,
+        high_priority: bool = False,
+        pinned: bool = False,
+    ) -> None:
+        """Insert a block, evicting LRU data blocks first if needed.
+
+        Oversized blocks (bigger than the whole cache) are silently not
+        cached — matching RocksDB's strict-capacity-off behaviour closely
+        enough for measurement purposes.
+        """
+        if self.capacity_bytes == 0 or len(block) > self.capacity_bytes:
+            return
+        self.remove(key)
+        if pinned:
+            self._pinned[key] = block
+        elif high_priority:
+            self._high[key] = block
+        else:
+            self._low[key] = block
+        self._used += len(block)
+        self._evict_to_capacity()
+
+    def _evict_to_capacity(self) -> None:
+        while self._used > self.capacity_bytes and self._low:
+            _, evicted = self._low.popitem(last=False)
+            self._used -= len(evicted)
+        while self._used > self.capacity_bytes and self._high:
+            _, evicted = self._high.popitem(last=False)
+            self._used -= len(evicted)
+        # Pinned blocks are never evicted; they may keep usage above
+        # capacity, exactly like RocksDB's pinning.
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def remove(self, key: Hashable) -> None:
+        """Drop one entry if present (any pool)."""
+        for pool in (self._low, self._high, self._pinned):
+            block = pool.pop(key, None)
+            if block is not None:
+                self._used -= len(block)
+                return
+
+    def remove_file(self, file_name: str) -> None:
+        """Drop every entry belonging to ``file_name`` (post-compaction)."""
+        for pool in (self._low, self._high, self._pinned):
+            stale = [key for key in pool if key[0] == file_name]
+            for key in stale:
+                self._used -= len(pool.pop(key))
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged to the cache."""
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._low) + len(self._high) + len(self._pinned)

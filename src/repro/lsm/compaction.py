@@ -1,0 +1,235 @@
+"""Leveled compaction — merge runs downward, rebuilding filters.
+
+Policy (RocksDB leveled, simplified to whole-level granularity):
+
+* L0 reaching ``level0_file_num_compaction_trigger`` files merges all of L0
+  with all of L1 into fresh L1 files of at most ``sst_size_bytes``.
+* A level exceeding its size target (``max_bytes_for_level_base * ratio^i``)
+  merges wholesale into the next level.
+* Tombstones survive until the output is the bottom-most populated level,
+  where they are dropped.
+
+"During background compactions, a new filter instance is built for the
+merged content of the new SST, while the filter instances for the old SSTs
+are destroyed" (§4) — old files are deleted, their block-cache entries and
+filter-dictionary entries dropped, and the new SSTs get fresh filters built
+by the configured factory (charged to the Fig. 6 construction counters).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, Iterable
+
+from repro.filters.base import FilterFactory
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.env import StorageEnv
+from repro.lsm.filter_integration import FilterDictionary
+from repro.lsm.format import ValueTag
+from repro.lsm.iterators import MergingIterator
+from repro.lsm.options import DBOptions
+from repro.lsm.sstable import SSTReader, SSTWriter
+from repro.lsm.version import Run, Version
+
+__all__ = ["Compactor"]
+
+
+class Compactor:
+    """Runs flush-triggered and size-triggered compactions for one DB."""
+
+    def __init__(
+        self,
+        env: StorageEnv,
+        options: DBOptions,
+        cache: BlockCache,
+        filter_dictionary: FilterDictionary,
+        filter_factory_provider: Callable[[], FilterFactory | None] | None = None,
+    ) -> None:
+        self._env = env
+        self._options = options
+        self._cache = cache
+        self._filter_dictionary = filter_dictionary
+        self._file_counter = itertools.count(1)
+        self._group_counter = itertools.count(1)
+        # The auto-tuner can swap the factory between compactions (§2.4);
+        # resolve it lazily at each compaction.
+        self._filter_factory_provider = filter_factory_provider or (
+            lambda: options.filter_factory
+        )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def maybe_compact(self, version: Version) -> int:
+        """Run compactions until the tree satisfies every invariant.
+
+        Returns the number of compactions performed.
+        """
+        if self._options.compaction_style == "tiered":
+            return self._maybe_compact_tiered(version)
+        performed = 0
+        while True:
+            if (
+                len(version.level0)
+                >= self._options.level0_file_num_compaction_trigger
+            ):
+                self._compact_level0(version)
+                performed += 1
+                continue
+            oversize = self._first_oversize_level(version)
+            if oversize is not None:
+                self._compact_level(version, oversize)
+                performed += 1
+                continue
+            return performed
+
+    def _maybe_compact_tiered(self, version: Version) -> int:
+        """Tiered policy: merge a level's runs down once it holds T of them.
+
+        L0 keeps its file-count trigger (each L0 file is one run); levels
+        1+ accumulate up to ``level_size_ratio`` sorted groups before the
+        whole level merges into one new group at the next level.  Runs are
+        never merged with the target level's existing groups — the write
+        savings that define tiering.
+        """
+        performed = 0
+        ratio = self._options.level_size_ratio
+        while True:
+            if (
+                len(version.level0)
+                >= self._options.level0_file_num_compaction_trigger
+            ):
+                inputs = version.level_runs(0)
+                self._tiered_merge(version, inputs, target=1)
+                version.clear_level0()
+                self._destroy_runs(inputs)
+                performed += 1
+                continue
+            overfull = next(
+                (
+                    level
+                    for level in range(1, self._options.num_levels - 1)
+                    if version.num_groups(level) >= ratio
+                ),
+                None,
+            )
+            if overfull is not None:
+                inputs = version.level_runs(overfull)
+                self._tiered_merge(version, inputs, target=overfull + 1)
+                version.levels[overfull] = []
+                self._destroy_runs(inputs)
+                performed += 1
+                continue
+            return performed
+
+    def _tiered_merge(
+        self, version: Version, inputs: list[Run], target: int
+    ) -> None:
+        """Merge ``inputs`` into one fresh group prepended at ``target``."""
+        # Tombstones may drop only when nothing older can resurface: no
+        # deeper level holds data and the target level has no older groups.
+        deeper_data = any(
+            version.level_runs(level)
+            for level in range(target + 1, self._options.num_levels)
+        )
+        bottom = not deeper_data and not version.level_runs(target)
+        outputs = self._merge_and_write(
+            inputs, output_level=target, drop_tombstones=bottom
+        )
+        group_id = next(self._group_counter)
+        for run in outputs:
+            run.group_id = group_id
+        version.prepend_group(target, outputs)
+
+    def _first_oversize_level(self, version: Version) -> int | None:
+        for level in range(1, self._options.num_levels - 1):
+            target = self._options.level_target_bytes(level)
+            if version.level_size_bytes(level) > target:
+                return level
+        return None
+
+    # ------------------------------------------------------------------
+    # Compaction bodies
+    # ------------------------------------------------------------------
+    def _compact_level0(self, version: Version) -> None:
+        inputs = version.level_runs(0) + version.level_runs(1)
+        if not inputs:
+            return
+        bottom = version.max_populated_level() <= 1
+        outputs = self._merge_and_write(inputs, output_level=1, drop_tombstones=bottom)
+        version.clear_level0()
+        version.install_level(1, outputs)
+        self._destroy_runs(inputs)
+
+    def _compact_level(self, version: Version, level: int) -> None:
+        inputs = version.level_runs(level) + version.level_runs(level + 1)
+        if not inputs:
+            return
+        bottom = version.max_populated_level() <= level + 1
+        outputs = self._merge_and_write(
+            inputs, output_level=level + 1, drop_tombstones=bottom
+        )
+        version.install_level(level, [])
+        version.install_level(level + 1, outputs)
+        self._destroy_runs(inputs)
+
+    # ------------------------------------------------------------------
+    # Machinery
+    # ------------------------------------------------------------------
+    def _merge_and_write(
+        self, inputs: list[Run], output_level: int, drop_tombstones: bool
+    ) -> list[Run]:
+        """Merge input runs (newest wins) into size-capped output SSTs."""
+        stats = self._env.stats
+        start_ns = time.perf_counter_ns()
+        stats.compactions += 1
+        stats.compaction_bytes_read += sum(run.file_size for run in inputs)
+
+        sources = [
+            (priority, run.reader.iterate_from(b""))
+            for priority, run in enumerate(inputs)
+        ]
+        merged = MergingIterator(sources)
+        outputs: list[Run] = []
+        writer: SSTWriter | None = None
+        factory = self._filter_factory_provider()
+        for key, tag, value in merged:
+            if drop_tombstones and tag == ValueTag.DELETE:
+                continue
+            if writer is None:
+                writer = self._new_writer(output_level, factory)
+            writer.add(key, tag, value)
+            if writer.estimated_file_size >= self._options.sst_size_bytes:
+                outputs.append(self._finish_writer(writer, output_level))
+                writer = None
+        if writer is not None and writer.num_entries:
+            outputs.append(self._finish_writer(writer, output_level))
+
+        stats.compaction_bytes_written += sum(run.file_size for run in outputs)
+        stats.compaction_time_ns += time.perf_counter_ns() - start_ns
+        return outputs
+
+    def _new_writer(
+        self, output_level: int, factory: FilterFactory | None
+    ) -> SSTWriter:
+        name = f"sst_{output_level}_{next(self._file_counter):08d}.sst"
+        return SSTWriter(self._env, name, self._options, filter_factory=factory)
+
+    def _finish_writer(self, writer: SSTWriter, output_level: int) -> Run:
+        meta = writer.finish()
+        reader = SSTReader(
+            self._env, meta, self._options, self._cache, is_level0=False
+        )
+        return Run(reader=reader, level=output_level)
+
+    def _destroy_runs(self, runs: Iterable[Run]) -> None:
+        """Delete input files; purge their cache and filter-dictionary state."""
+        for run in runs:
+            self._cache.remove_file(run.name)
+            self._filter_dictionary.drop_run(run.name)
+            self._env.delete_file(run.name)
+
+    def next_file_name(self, level: int) -> str:
+        """Allocate a fresh SST file name (used by flush)."""
+        return f"sst_{level}_{next(self._file_counter):08d}.sst"

@@ -1,0 +1,702 @@
+"""The LSM-tree key-value store (the paper's RocksDB stand-in).
+
+Write path: WAL append → skip-list memtable → flush to an L0 SST (with a
+freshly built per-SST filter) → leveled compaction.  Read path: memtable,
+then every overlapping run newest-to-oldest, each guarded by its filter —
+"for every run of the tree, a point or range query first probes the
+corresponding [filter] for this run, and only tries to access the run on
+disk if [it] returns a positive" (§2).
+
+Range queries follow §4's implementation overview: probe all relevant
+filter instances; if all answer negative, delete the iterator and return
+empty; otherwise seek the merging iterator at the (possibly *tightened*,
+§2.2.1) lower bound and advance until the upper bound.  Every sub-cost the
+paper measures (filter probe, deserialization, residual seek, block read
+time) is charged to :class:`~repro.lsm.stats.PerfStats`.
+
+Workload statistics flow into a :class:`~repro.core.tuning.WorkloadTracker`;
+:meth:`DB.retune_filters` applies the §2.4 auto-tuner so post-compaction
+filter instances adopt the workload-optimal configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterable, Iterator
+
+from repro.core.tuning import AutoTuner, TuningDecision, WorkloadTracker
+from repro.errors import ClosedStoreError, FilterQueryError, StoreError
+from repro.filters.base import FilterFactory, KeyFilter
+from repro.filters.rosetta_adapter import RosettaFilter
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.compaction import Compactor
+from repro.lsm.env import StorageEnv
+from repro.lsm.filter_integration import FilterDictionary
+from repro.lsm.format import ValueTag
+from repro.lsm.iterators import MergingIterator, live_entries
+from repro.lsm.memtable import MemTable
+from repro.lsm.options import DBOptions
+from repro.lsm.perf_context import QueryContext
+from repro.lsm.sstable import SSTMeta, SSTReader, SSTWriter
+from repro.lsm.stats import PerfStats, Stopwatch
+from repro.lsm.version import Run, Version
+from repro.lsm.wal import BATCH_OP, WriteAheadLog
+from repro.lsm.write_batch import WriteBatch
+
+_MANIFEST = "MANIFEST.json"
+
+__all__ = ["DB"]
+
+
+class DB:
+    """An LSM-tree key-value store over integer keys and byte values.
+
+    Examples
+    --------
+    >>> from repro.lsm import DB, DBOptions
+    >>> db = DB("/tmp/example-db", DBOptions(key_bits=32))
+    >>> db.put(42, b"value")
+    >>> db.get(42)
+    b'value'
+    >>> db.range_query(40, 50)
+    [(42, b'value')]
+    >>> db.close()
+    """
+
+    def __init__(self, path: str, options: DBOptions | None = None) -> None:
+        self.options = options if options is not None else DBOptions()
+        self.options.validate()
+        self.stats = PerfStats()
+        self.tracker = WorkloadTracker()
+        self._env = StorageEnv(path, self.options.device, self.stats)
+        self._cache = BlockCache(self.options.block_cache_bytes)
+        self._filter_dictionary = FilterDictionary(
+            enabled=self.options.use_filter_dictionary
+        )
+        self._current_filter_factory = self.options.filter_factory
+        self._compactor = Compactor(
+            self._env,
+            self.options,
+            self._cache,
+            self._filter_dictionary,
+            filter_factory_provider=lambda: self._current_filter_factory,
+        )
+        self._version = Version()
+        self._memtable = MemTable()
+        self._wal = WriteAheadLog(self._env) if self.options.use_wal else None
+        self._closed = False
+        #: Per-query performance context of the most recent read operation.
+        self.last_query: QueryContext | None = None
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Key codec
+    # ------------------------------------------------------------------
+    def _encode_key(self, key: int) -> bytes:
+        key = int(key)
+        if key < 0 or key >> self.options.key_bits:
+            raise FilterQueryError(
+                f"key {key} outside domain [0, 2^{self.options.key_bits})"
+            )
+        return key.to_bytes(self.options.key_width_bytes, "big")
+
+    @staticmethod
+    def _decode_key(key: bytes) -> int:
+        return int.from_bytes(key, "big")
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite a key."""
+        self._check_open()
+        encoded = self._encode_key(key)
+        if self._wal is not None:
+            self._wal.append_put(encoded, value)
+        self._memtable.put(encoded, bytes(value))
+        self.stats.writes += 1
+        self._maybe_flush()
+
+    def delete(self, key: int) -> None:
+        """Delete a key (writes a tombstone)."""
+        self._check_open()
+        encoded = self._encode_key(key)
+        if self._wal is not None:
+            self._wal.append_delete(encoded)
+        self._memtable.delete(encoded)
+        self.stats.writes += 1
+        self._maybe_flush()
+
+    def put_batch(self, items: Iterable[tuple[int, bytes]]) -> None:
+        """Insert many items through the normal write path."""
+        for key, value in items:
+            self.put(key, value)
+
+    def write(self, batch) -> None:
+        """Apply a :class:`~repro.lsm.write_batch.WriteBatch` atomically.
+
+        The batch is persisted as a single WAL frame before touching the
+        memtable, so recovery sees all of it or none of it.
+        """
+        self._check_open()
+        if len(batch) == 0:
+            return
+        # Validate every key before any side effect (atomicity).
+        for _tag, key, _value in batch:
+            decoded = self._decode_key(key)
+            if decoded >> self.options.key_bits:
+                raise FilterQueryError(
+                    f"batched key {decoded} outside domain "
+                    f"[0, 2^{self.options.key_bits})"
+                )
+        if self._wal is not None:
+            self._wal.append_batch(batch.encode())
+        for tag, key, value in batch:
+            if tag == ValueTag.PUT:
+                self._memtable.put(key, value)
+            else:
+                self._memtable.delete(key)
+        self.stats.writes += len(batch)
+        self._maybe_flush()
+
+    def batch(self) -> "WriteBatch":
+        """A fresh :class:`WriteBatch` whose keys are encoded by this DB.
+
+        Convenience wrapper so callers work with integer keys::
+
+            b = db.batch()
+            b.put_int(1, b"a").delete_int(2)
+            db.write(b)
+        """
+        db = self
+
+        class _IntBatch(WriteBatch):
+            def put_int(self, key: int, value: bytes) -> "_IntBatch":
+                self.put(db._encode_key(key), value)  # noqa: SLF001
+                return self
+
+            def delete_int(self, key: int) -> "_IntBatch":
+                self.delete(db._encode_key(key))  # noqa: SLF001
+                return self
+
+        return _IntBatch()
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approximate_bytes >= self.options.memtable_size_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush the memtable to a new L0 SST file and run compactions."""
+        self._check_open()
+        if self._memtable.is_empty:
+            return
+        name = self._compactor.next_file_name(0)
+        writer = SSTWriter(
+            self._env, name, self.options,
+            filter_factory=self._current_filter_factory,
+        )
+        for key, tag, value in self._memtable.entries():
+            writer.add(key, tag, value)
+        meta = writer.finish()
+        reader = SSTReader(
+            self._env, meta, self.options, self._cache, is_level0=True
+        )
+        self._version.add_level0(Run(reader=reader, level=0))
+        self._memtable = MemTable()
+        if self._wal is not None:
+            self._wal.truncate()
+        self.stats.flushes += 1
+        self._compactor.maybe_compact(self._version)
+        self._write_manifest()
+
+    def compact(self) -> None:
+        """Force L0 into the tree and settle all compaction triggers."""
+        self._check_open()
+        self.flush()
+        if self._version.level0:
+            if self.options.compaction_style == "tiered":
+                inputs = self._version.level_runs(0)
+                self._compactor._tiered_merge(  # noqa: SLF001
+                    self._version, inputs, target=1
+                )
+                self._version.clear_level0()
+                self._compactor._destroy_runs(inputs)  # noqa: SLF001
+            else:
+                self._compactor._compact_level0(self._version)  # noqa: SLF001
+            self._compactor.maybe_compact(self._version)
+            self._write_manifest()
+
+    def force_full_compaction(self) -> None:
+        """Merge every run into the bottom-most populated level.
+
+        The analogue of RocksDB's ``CompactRange`` over the whole keyspace:
+        every SST is rewritten, so every filter instance is rebuilt with the
+        *current* filter factory — the way a §2.4 retuning decision reaches
+        all existing data.
+        """
+        self._check_open()
+        self.flush()
+        inputs = self._version.all_runs_newest_first()
+        if not inputs:
+            return
+        target = max(1, self._version.max_populated_level())
+        outputs = self._compactor._merge_and_write(  # noqa: SLF001
+            inputs, output_level=target, drop_tombstones=True
+        )
+        self._version.clear_level0()
+        for level in list(self._version.levels):
+            self._version.install_level(level, [])
+        self._version.install_level(target, outputs)
+        self._compactor._destroy_runs(inputs)  # noqa: SLF001
+        self._write_manifest()
+
+    # ------------------------------------------------------------------
+    # Bulk load
+    # ------------------------------------------------------------------
+    def ingest(self, items: Iterable[tuple[int, bytes]], level: int | None = None) -> None:
+        """Bulk-load sorted unique items directly into one deep level.
+
+        The paper's experiments load 50M keys before measuring queries;
+        this path builds bottom-level SSTs (with filters) without write
+        amplification.  ``level`` defaults to the shallowest level whose
+        size target fits the data.
+        """
+        self._check_open()
+        pairs = sorted(items, key=lambda kv: kv[0])
+        if not pairs:
+            return
+        if level is None:
+            estimated = sum(
+                self.options.key_width_bytes + len(v) + 8 for _, v in pairs
+            )
+            level = 1
+            while (
+                level < self.options.num_levels - 1
+                and estimated > self.options.level_target_bytes(level)
+            ):
+                level += 1
+        if not 1 <= level < self.options.num_levels:
+            raise StoreError(f"ingest level {level} out of range")
+        if self._version.level_runs(level):
+            raise StoreError(f"ingest target level {level} is not empty")
+
+        runs: list[Run] = []
+        writer: SSTWriter | None = None
+        previous: int | None = None
+        for key, value in pairs:
+            if key == previous:
+                continue
+            previous = key
+            if writer is None:
+                writer = SSTWriter(
+                    self._env,
+                    self._compactor.next_file_name(level),
+                    self.options,
+                    filter_factory=self._current_filter_factory,
+                )
+            writer.add(self._encode_key(key), ValueTag.PUT, bytes(value))
+            if writer.estimated_file_size >= self.options.sst_size_bytes:
+                runs.append(self._finish_ingest_writer(writer, level))
+                writer = None
+        if writer is not None and writer.num_entries:
+            runs.append(self._finish_ingest_writer(writer, level))
+        self._version.install_level(level, runs)
+        self._write_manifest()
+
+    def _finish_ingest_writer(self, writer: SSTWriter, level: int) -> Run:
+        meta = writer.finish()
+        reader = SSTReader(
+            self._env, meta, self.options, self._cache, is_level0=False
+        )
+        return Run(reader=reader, level=level)
+
+    # ------------------------------------------------------------------
+    # Point reads
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> bytes | None:
+        """Point lookup; returns None for absent or deleted keys."""
+        self._check_open()
+        self.stats.point_queries += 1
+        self.tracker.record_point_query()
+        encoded = self._encode_key(key)
+        context = QueryContext(kind="point", low=int(key), high=int(key))
+        before = self.stats.snapshot()
+        try:
+            buffered = self._memtable.get(encoded)
+            if buffered is not None:
+                tag, value = buffered
+                context.memtable_hit = True
+                context.results = 1 if tag == ValueTag.PUT else 0
+                return value if tag == ValueTag.PUT else None
+
+            runs = self._version.runs_for_key(encoded)
+            context.runs_considered = len(runs)
+            for run in runs:
+                verdict = self._probe_filter_point(run, encoded)
+                if not verdict:
+                    continue
+                context.iterators_created += 1
+                found = run.reader.get(encoded)
+                truly_there = found is not None
+                self._record_filter_outcome(
+                    run, positive=True, truly=truly_there
+                )
+                self.tracker.record_filter_outcome(True, truly_there)
+                if found is not None:
+                    tag, value = found
+                    context.results = 1 if tag == ValueTag.PUT else 0
+                    return value if tag == ValueTag.PUT else None
+            return None
+        finally:
+            delta = self.stats.diff(before)
+            context.filters_probed = delta.filter_probes
+            context.filter_negatives = delta.filter_negatives
+            context.blocks_read = delta.block_reads
+            context.block_cache_hits = delta.block_cache_hits
+            self.last_query = context
+
+    def _probe_filter_point(self, run: Run, encoded: bytes) -> bool:
+        filt = self._filter_dictionary.get_filter(run.reader, self.stats)
+        if filt is None:
+            return True  # fence pointers only
+        self.stats.filter_probes += 1
+        with Stopwatch(self.stats, "filter_probe_ns"):
+            verdict = filt.may_contain(self._decode_key(encoded))
+        if not verdict:
+            self.stats.filter_negatives += 1
+            self.tracker.record_filter_outcome(False, False)
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Range reads
+    # ------------------------------------------------------------------
+    def range_query(self, low: int, high: int) -> list[tuple[int, bytes]]:
+        """Inclusive range scan; returns live ``(key, value)`` pairs."""
+        return list(self.range_iter(low, high))
+
+    def range_iter(self, low: int, high: int) -> Iterator[tuple[int, bytes]]:
+        """Iterator form of :meth:`range_query`."""
+        self._check_open()
+        if low > high:
+            raise FilterQueryError(f"invalid range: low={low} > high={high}")
+        self.stats.range_queries += 1
+        self.tracker.record_range_query(high - low + 1)
+        low_bytes = self._encode_key(low)
+        high_bytes = self._encode_key(min(high, (1 << self.options.key_bits) - 1))
+        context = QueryContext(kind="range", low=low, high=high)
+        before = self.stats.snapshot()
+
+        candidates = self._version.runs_for_range(low_bytes, high_bytes)
+        context.runs_considered = len(candidates)
+        positive_runs: list[tuple[Run, bytes]] = []
+        for run in candidates:
+            effective = self._probe_filter_range(run, low, high)
+            if effective is not None:
+                seek_key = max(low_bytes, self._encode_key(effective[0]))
+                positive_runs.append((run, seek_key))
+
+        memtable_live = not self._memtable.is_empty
+        if not positive_runs and not memtable_live:
+            # "If all filters answer negative, we delete the iterator and
+            # return an empty result" — still a (small) residual cost.
+            with Stopwatch(self.stats, "residual_seek_ns"):
+                pass
+            self._finish_context(context, before)
+            return
+
+        with Stopwatch(self.stats, "residual_seek_ns"):
+            contributed: dict[str, bool] = {run.name: False for run, _ in positive_runs}
+            sources: list[tuple[int, Iterator]] = []
+            priority = 0
+            if memtable_live:
+                sources.append(
+                    (priority, self._memtable.entries_from(low_bytes))
+                )
+                priority += 1
+            order = {run.name: i for i, (run, _) in enumerate(positive_runs)}
+            for run, seek_key in positive_runs:
+                sources.append(
+                    (
+                        priority + order[run.name],
+                        self._tracking_iter(run, seek_key, high_bytes, contributed),
+                    )
+                )
+            context.iterators_created = len(sources)
+            merged = MergingIterator(sources)
+            results: list[tuple[int, bytes]] = []
+            for key, value in live_entries(merged):
+                if key > high_bytes:
+                    break
+                results.append((self._decode_key(key), value))
+
+        for run, _ in positive_runs:
+            truly = contributed[run.name]
+            self._record_filter_outcome(run, positive=True, truly=truly)
+            self.tracker.record_filter_outcome(True, truly)
+        context.results = len(results)
+        self._finish_context(context, before)
+        yield from results
+
+    def _finish_context(self, context: QueryContext, before: PerfStats) -> None:
+        delta = self.stats.diff(before)
+        context.filters_probed = delta.filter_probes
+        context.filter_negatives = delta.filter_negatives
+        context.blocks_read = delta.block_reads
+        context.block_cache_hits = delta.block_cache_hits
+        self.last_query = context
+
+    def _tracking_iter(
+        self,
+        run: Run,
+        seek_key: bytes,
+        high_bytes: bytes,
+        contributed: dict[str, bool],
+    ) -> Iterator[tuple[bytes, int, bytes]]:
+        """Two-level iterator wrapper marking runs that had in-range keys."""
+        for key, tag, value in run.reader.iterate_from(seek_key):
+            if key <= high_bytes:
+                contributed[run.name] = True
+            yield key, tag, value
+
+    def _probe_filter_range(
+        self, run: Run, low: int, high: int
+    ) -> tuple[int, int] | None:
+        """Probe one run's filter; returns the (tightened) range or None."""
+        filt = self._filter_dictionary.get_filter(run.reader, self.stats)
+        if filt is None:
+            return (low, high)  # fence pointers already said "overlaps"
+        self.stats.filter_probes += 1
+        with Stopwatch(self.stats, "filter_probe_ns"):
+            effective = filt.tightened_range(low, high)
+        if effective is None:
+            self.stats.filter_negatives += 1
+            self.tracker.record_filter_outcome(False, False)
+        return effective
+
+    def _record_filter_outcome(self, run: Run, positive: bool, truly: bool) -> None:
+        if positive:
+            if truly:
+                self.stats.filter_true_positives += 1
+            else:
+                self.stats.filter_false_positives += 1
+
+    def multi_get(self, keys: Iterable[int]) -> dict[int, bytes | None]:
+        """Point-look-up many keys; absent/deleted keys map to None."""
+        return {int(key): self.get(int(key)) for key in keys}
+
+    def iterator(
+        self, start: int | None = None, end: int | None = None
+    ) -> Iterator[tuple[int, bytes]]:
+        """Ordered scan over live entries, optionally bounded (inclusive).
+
+        This is the full-scan path — the RocksDB-iterator analogue.  It
+        deliberately bypasses the range filters: a scan reads the data
+        anyway, so there is nothing for a filter to prune (the paper's
+        filters matter for *selective* range queries, served by
+        :meth:`range_query`).
+        """
+        self._check_open()
+        start_bytes = self._encode_key(start if start is not None else 0)
+        end_bytes = (
+            self._encode_key(end)
+            if end is not None
+            else b"\xff" * self.options.key_width_bytes
+        )
+        sources: list[tuple[int, Iterator]] = []
+        priority = 0
+        if not self._memtable.is_empty:
+            sources.append((priority, self._memtable.entries_from(start_bytes)))
+            priority += 1
+        for offset, run in enumerate(
+            self._version.runs_for_range(start_bytes, end_bytes)
+        ):
+            sources.append((priority + offset, run.reader.iterate_from(start_bytes)))
+        for key, value in live_entries(MergingIterator(sources)):
+            if key > end_bytes:
+                return
+            yield self._decode_key(key), value
+
+    # ------------------------------------------------------------------
+    # Adaptive tuning (§2.4)
+    # ------------------------------------------------------------------
+    def retune_filters(
+        self,
+        tuner: AutoTuner | None = None,
+        bits_per_key: float | None = None,
+    ) -> TuningDecision:
+        """Re-derive the Rosetta recipe from observed workload statistics.
+
+        Future flushes and compactions build filters with the recommended
+        strategy/max-range; existing runs keep their filters until they are
+        next compacted, matching the paper's compaction-time reconciliation.
+        """
+        self._check_open()
+        tuner = tuner if tuner is not None else AutoTuner()
+        decision = tuner.recommend(self.tracker)
+        if bits_per_key is None:
+            current = self._current_filter_factory
+            bits_per_key = (
+                current.bits_per_key
+                if current is not None and current.bits_per_key is not None
+                else 22.0
+            )
+        kwargs = decision.build_kwargs()
+        key_bits = self.options.key_bits
+
+        def build(keys, _kwargs=kwargs, _bpk=bits_per_key, _kb=key_bits) -> KeyFilter:
+            filt = RosettaFilter(key_bits=_kb, bits_per_key=_bpk, **_kwargs)
+            filt.populate(keys)
+            return filt
+
+        self._current_filter_factory = FilterFactory(
+            name=f"rosetta-tuned[{decision.strategy}]",
+            builder=build,
+            bits_per_key=bits_per_key,
+        )
+        return decision
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def approximate_size(self, low: int, high: int) -> int:
+        """Estimated on-disk bytes covering ``[low, high]`` (no I/O).
+
+        The ``GetApproximateSizes`` analogue: sums the fence-pointer block
+        sizes of every overlapping run.  Block-granular and level-additive
+        (overlapping runs each contribute), so it upper-bounds the live
+        data in the range.
+        """
+        self._check_open()
+        if low > high:
+            raise FilterQueryError(f"invalid range: low={low} > high={high}")
+        low_bytes = self._encode_key(low)
+        high_bytes = self._encode_key(
+            min(high, (1 << self.options.key_bits) - 1)
+        )
+        return sum(
+            run.reader.approximate_bytes_in_range(low_bytes, high_bytes)
+            for run in self._version.runs_for_range(low_bytes, high_bytes)
+        )
+
+    def verify(self):
+        """Walk every SST and validate checksums, ordering, and filters.
+
+        The ``VerifyChecksum`` analogue; returns a
+        :class:`~repro.lsm.verify.VerificationReport` (never raises on
+        corruption — inspect ``report.ok`` / ``report.errors``).
+        """
+        from repro.lsm.verify import verify_version
+
+        self._check_open()
+        return verify_version(self._version)
+
+    def describe(self) -> str:
+        """Tree shape summary."""
+        memtable_line = (
+            f"memtable: {len(self._memtable)} entries, "
+            f"{self._memtable.approximate_bytes} bytes"
+        )
+        return memtable_line + "\n" + self._version.describe()
+
+    def num_live_files(self) -> int:
+        """Number of SST files currently in the tree."""
+        return self._version.total_files()
+
+    @property
+    def version(self) -> Version:
+        """The current level/run metadata (read-mostly)."""
+        return self._version
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _write_manifest(self) -> None:
+        manifest = {
+            "level0": [run.name for run in self._version.level0],
+            "levels": {
+                str(level): [[run.name, run.group_id] for run in runs]
+                for level, runs in self._version.levels.items()
+            },
+            # Workload statistics survive restarts so the §2.4 tuner can
+            # keep learning across sessions.
+            "tracker": self.tracker.to_dict(),
+        }
+        self._env.write_file(_MANIFEST, json.dumps(manifest).encode())
+
+    def _recover(self) -> None:
+        if self._env.exists(_MANIFEST):
+            manifest = json.loads(self._env.read_file(_MANIFEST))
+            if "tracker" in manifest:
+                self.tracker = WorkloadTracker.from_dict(manifest["tracker"])
+            for name in manifest.get("level0", []):
+                meta = self._read_meta(name)
+                reader = SSTReader(
+                    self._env, meta, self.options, self._cache, is_level0=True
+                )
+                self._version.level0.append(Run(reader=reader, level=0))
+            for level_str, entries in manifest.get("levels", {}).items():
+                level = int(level_str)
+                runs = []
+                for entry in entries:
+                    name, group_id = entry
+                    meta = self._read_meta(name)
+                    reader = SSTReader(
+                        self._env, meta, self.options, self._cache, is_level0=False
+                    )
+                    runs.append(Run(reader=reader, level=level, group_id=group_id))
+                if runs:
+                    # Preserve manifest (recency) order verbatim; tiered
+                    # levels legitimately hold overlapping groups.
+                    self._version.levels[level] = runs
+        if self._wal is not None:
+            for op, key, value in self._wal.replay():
+                if op == BATCH_OP:
+                    for tag, bkey, bvalue in WriteBatch.decode(value):
+                        if tag == ValueTag.PUT:
+                            self._memtable.put(bkey, bvalue)
+                        else:
+                            self._memtable.delete(bkey)
+                elif op == ValueTag.PUT:
+                    self._memtable.put(key, value)
+                else:
+                    self._memtable.delete(key)
+
+    def _read_meta(self, name: str) -> SSTMeta:
+        """Reconstruct SSTMeta by reading the file's meta block."""
+        import struct
+
+        file_size = self._env.file_size(name)
+        footer = self._env.read_block(name, file_size - 52, 52)
+        fields = struct.Struct("<QQQQQQI").unpack(footer)
+        meta_payload = self._env.read_block(name, fields[4], fields[5])
+        (num_entries,) = struct.unpack_from("<Q", meta_payload, 0)
+        (min_len,) = struct.unpack_from("<I", meta_payload, 8)
+        min_key = meta_payload[12 : 12 + min_len]
+        (max_len,) = struct.unpack_from("<I", meta_payload, 12 + min_len)
+        max_key = meta_payload[16 + min_len : 16 + min_len + max_len]
+        return SSTMeta(
+            name=name,
+            num_entries=num_entries,
+            min_key=min_key,
+            max_key=max_key,
+            file_size=file_size,
+        )
+
+    def close(self) -> None:
+        """Flush, persist the manifest, and release file handles."""
+        if self._closed:
+            return
+        self.flush()
+        self._write_manifest()
+        self._env.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedStoreError("operation on a closed DB")
+
+    def __enter__(self) -> "DB":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,192 @@
+"""Storage environment: real files plus a device latency model.
+
+The paper evaluates across the memory hierarchy — main memory, SATA SSD,
+and 7200-RPM HDD (Fig. 9) — on physical hardware we do not have.  The
+substitution: SST bytes live in real local files (so serialization, block
+layout, and read paths are genuinely exercised), while *device time* is
+charged analytically per block read from a :class:`DeviceModel`:
+
+* ``memory`` — DRAM-resident store: ~100 ns per block, no seek;
+* ``ssd`` — tens of microseconds per random block read;
+* ``hdd`` — a ~10 ms seek dominating every random read.
+
+Charged time accumulates in ``PerfStats.block_read_time_ns`` — the analog of
+RocksDB's ``block_read_time`` — so end-to-end "latency" is measured CPU plus
+modeled device time.  Only the device constants are synthetic; which blocks
+are read, and how many, is decided by the real code paths.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import BinaryIO
+
+from repro.lsm.stats import PerfStats
+
+__all__ = ["DeviceModel", "StorageEnv", "DEVICE_PRESETS"]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Per-operation latency constants for one storage device."""
+
+    name: str
+    read_seek_ns: int      # fixed cost per random block read
+    read_per_byte_ns: float  # transfer cost
+    write_per_byte_ns: float
+
+    def block_read_ns(self, num_bytes: int) -> int:
+        """Modeled latency of one random block read of ``num_bytes``."""
+        return self.read_seek_ns + int(self.read_per_byte_ns * num_bytes)
+
+    def write_ns(self, num_bytes: int) -> int:
+        """Modeled latency of appending ``num_bytes`` (sequential)."""
+        return int(self.write_per_byte_ns * num_bytes)
+
+
+def _scaled(model: DeviceModel, factor: float) -> DeviceModel:
+    return DeviceModel(
+        name=f"{model.name}-scaled",
+        read_seek_ns=int(model.read_seek_ns * factor),
+        read_per_byte_ns=model.read_per_byte_ns * factor,
+        write_per_byte_ns=model.write_per_byte_ns * factor,
+    )
+
+
+#: Real-hardware constants (§5, Fig. 9): DRAM, a SATA consumer SSD (~80 us
+#: random read), and a 7200-RPM SATA HDD (~10 ms seek).
+_RAW_PRESETS = {
+    "memory": DeviceModel("memory", read_seek_ns=100, read_per_byte_ns=0.01,
+                          write_per_byte_ns=0.01),
+    "ssd": DeviceModel("ssd", read_seek_ns=80_000, read_per_byte_ns=0.4,
+                       write_per_byte_ns=0.4),
+    "hdd": DeviceModel("hdd", read_seek_ns=10_000_000, read_per_byte_ns=5.0,
+                       write_per_byte_ns=5.0),
+}
+
+#: Pure-Python CPU runs roughly two to three orders of magnitude slower than
+#: the paper's C++ filter code, so charging *real* device constants against
+#: *Python* CPU time would invert the CPU:I/O ratio the paper's design
+#: argument rests on.  The ``*-scaled`` presets multiply device latency by
+#: this factor so the ratio of (filter probe cost : block read cost) on this
+#: substrate matches the paper's testbed.  End-to-end experiments use the
+#: scaled presets; Fig. 9's cross-device comparison uses both.
+PYTHON_CPU_INFLATION = 200
+
+DEVICE_PRESETS: dict[str, DeviceModel] = {
+    **_RAW_PRESETS,
+    "memory-scaled": _scaled(_RAW_PRESETS["memory"], PYTHON_CPU_INFLATION),
+    "ssd-scaled": _scaled(_RAW_PRESETS["ssd"], PYTHON_CPU_INFLATION),
+    "hdd-scaled": _scaled(_RAW_PRESETS["hdd"], PYTHON_CPU_INFLATION),
+}
+
+
+class StorageEnv:
+    """File I/O gateway charging modeled device time into :class:`PerfStats`.
+
+    Parameters
+    ----------
+    root:
+        Directory that will hold the store's files (created if missing).
+    device:
+        Device name from :data:`DEVICE_PRESETS` or a custom model.
+    stats:
+        Counter sink; one per DB.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        device: str | DeviceModel = "memory",
+        stats: PerfStats | None = None,
+    ) -> None:
+        if isinstance(device, str):
+            try:
+                device = DEVICE_PRESETS[device]
+            except KeyError:
+                raise ValueError(
+                    f"unknown device {device!r}; expected one of "
+                    f"{sorted(DEVICE_PRESETS)}"
+                ) from None
+        self.device = device
+        self.root = root
+        self.stats = stats if stats is not None else PerfStats()
+        os.makedirs(root, exist_ok=True)
+        self._handles: dict[str, BinaryIO] = {}
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path(self, name: str) -> str:
+        """Absolute path of a store-relative file name."""
+        return os.path.join(self.root, name)
+
+    def exists(self, name: str) -> bool:
+        """Whether the file exists."""
+        return os.path.exists(self.path(name))
+
+    def file_size(self, name: str) -> int:
+        """Size of the file in bytes."""
+        return os.path.getsize(self.path(name))
+
+    def list_files(self) -> list[str]:
+        """Store-relative names of all files, sorted."""
+        return sorted(os.listdir(self.root))
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def write_file(self, name: str, payload: bytes) -> None:
+        """Write a whole immutable file (SSTs are written once)."""
+        with open(self.path(name), "wb") as handle:
+            handle.write(payload)
+        self.stats.bytes_written += len(payload)
+
+    def append_file(self, name: str, payload: bytes) -> None:
+        """Append to a log file (WAL)."""
+        with open(self.path(name), "ab") as handle:
+            handle.write(payload)
+        self.stats.bytes_written += len(payload)
+
+    def read_block(self, name: str, offset: int, size: int) -> bytes:
+        """Random block read, charged at device latency.
+
+        Handles are opened unbuffered: the block cache is the only caching
+        layer, so every miss genuinely touches the file — which keeps the
+        charged device time honest and makes on-disk corruption visible
+        immediately.
+        """
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = open(self.path(name), "rb", buffering=0)
+            self._handles[name] = handle
+        handle.seek(offset)
+        payload = handle.read(size)
+        self.stats.block_reads += 1
+        self.stats.block_read_bytes += len(payload)
+        self.stats.block_read_time_ns += self.device.block_read_ns(len(payload))
+        return payload
+
+    def read_file(self, name: str) -> bytes:
+        """Read a whole file (recovery paths), charged as one big read."""
+        with open(self.path(name), "rb") as handle:
+            payload = handle.read()
+        self.stats.block_reads += 1
+        self.stats.block_read_bytes += len(payload)
+        self.stats.block_read_time_ns += self.device.block_read_ns(len(payload))
+        return payload
+
+    def delete_file(self, name: str) -> None:
+        """Remove a file (post-compaction cleanup)."""
+        handle = self._handles.pop(name, None)
+        if handle is not None:
+            handle.close()
+        if self.exists(name):
+            os.remove(self.path(name))
+
+    def close(self) -> None:
+        """Close all cached read handles."""
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()

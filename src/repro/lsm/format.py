@@ -1,0 +1,214 @@
+"""On-disk block encodings for SST files (RocksDB-style).
+
+Data blocks use restart-point prefix compression: within a block, each
+entry stores how many key bytes it shares with its predecessor, and every
+``restart_interval`` entries a *restart point* stores the full key so a
+reader can binary-search restart points and scan forward.  Blocks end with
+the restart offset array, its length, and a CRC32 checksum.
+
+Entries carry a one-byte value tag distinguishing puts from deletion
+tombstones — the merge machinery needs tombstones to shadow older values
+until they reach the bottom level.
+
+Index blocks map each data block's *last key* to its (offset, size); the
+in-memory form of an index block is exactly the paper's fence pointers.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, NamedTuple
+
+from repro.errors import CorruptionError
+
+__all__ = [
+    "ValueTag",
+    "BlockHandle",
+    "encode_varint",
+    "decode_varint",
+    "DataBlockBuilder",
+    "decode_data_block",
+    "encode_index_block",
+    "decode_index_block",
+]
+
+
+class ValueTag:
+    """One-byte entry type tags."""
+
+    PUT = 0
+    DELETE = 1
+
+
+class BlockHandle(NamedTuple):
+    """Location of a block within an SST file."""
+
+    offset: int
+    size: int
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("<QQ", self.offset, self.size)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BlockHandle":
+        offset, size = struct.unpack("<QQ", payload[:16])
+        return cls(offset, size)
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise ValueError(f"varints are unsigned, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(payload: bytes, offset: int) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, next_offset)."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(payload):
+            raise CorruptionError("truncated varint")
+        byte = payload[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 63:
+            raise CorruptionError("varint too long")
+
+
+class DataBlockBuilder:
+    """Accumulates sorted entries into one prefix-compressed data block."""
+
+    def __init__(self, restart_interval: int = 16) -> None:
+        if restart_interval < 1:
+            raise ValueError("restart_interval must be >= 1")
+        self._restart_interval = restart_interval
+        self._buffer = bytearray()
+        self._restarts: list[int] = []
+        self._entries_since_restart = 0
+        self._last_key = b""
+        self.num_entries = 0
+
+    def add(self, key: bytes, tag: int, value: bytes) -> None:
+        """Append an entry; keys must arrive in strictly increasing order."""
+        if self.num_entries and key <= self._last_key:
+            raise ValueError("data block keys must be strictly increasing")
+        if self._entries_since_restart % self._restart_interval == 0:
+            self._restarts.append(len(self._buffer))
+            shared = 0
+            self._entries_since_restart = 0
+        else:
+            shared = _shared_prefix_len(self._last_key, key)
+        unshared = key[shared:]
+        self._buffer += encode_varint(shared)
+        self._buffer += encode_varint(len(unshared))
+        self._buffer += encode_varint(len(value))
+        self._buffer.append(tag)
+        self._buffer += unshared
+        self._buffer += value
+        self._last_key = key
+        self._entries_since_restart += 1
+        self.num_entries += 1
+
+    def size_estimate(self) -> int:
+        """Bytes the finished block will occupy (approximately)."""
+        return len(self._buffer) + 4 * len(self._restarts) + 12
+
+    def finish(self) -> bytes:
+        """Seal the block: body + restart array + counts + CRC32."""
+        out = bytearray(self._buffer)
+        for restart in self._restarts:
+            out += struct.pack("<I", restart)
+        out += struct.pack("<I", len(self._restarts))
+        out += struct.pack("<I", self.num_entries)
+        out += struct.pack("<I", zlib.crc32(bytes(out)))
+        return bytes(out)
+
+
+def decode_data_block(payload: bytes) -> list[tuple[bytes, int, bytes]]:
+    """Decode a data block into ``[(key, tag, value), ...]``.
+
+    Verifies the trailing CRC32 and reconstructs prefix-compressed keys.
+    """
+    if len(payload) < 16:
+        raise CorruptionError("data block too small")
+    body, crc_bytes = payload[:-4], payload[-4:]
+    if zlib.crc32(body) != struct.unpack("<I", crc_bytes)[0]:
+        raise CorruptionError("data block checksum mismatch")
+    num_restarts, num_entries = struct.unpack("<II", body[-8:])
+    restart_array_start = len(body) - 8 - 4 * num_restarts
+    if restart_array_start < 0:
+        raise CorruptionError("data block restart array overflow")
+    entries: list[tuple[bytes, int, bytes]] = []
+    offset = 0
+    last_key = b""
+    while offset < restart_array_start:
+        shared, offset = decode_varint(body, offset)
+        unshared_len, offset = decode_varint(body, offset)
+        value_len, offset = decode_varint(body, offset)
+        tag = body[offset]
+        offset += 1
+        key = last_key[:shared] + body[offset : offset + unshared_len]
+        offset += unshared_len
+        value = body[offset : offset + value_len]
+        offset += value_len
+        entries.append((key, tag, value))
+        last_key = key
+    if len(entries) != num_entries:
+        raise CorruptionError(
+            f"data block advertised {num_entries} entries, decoded {len(entries)}"
+        )
+    return entries
+
+
+def encode_index_block(
+    entries: list[tuple[bytes, BlockHandle]]
+) -> bytes:
+    """Encode fence pointers: (last key of block, handle) per data block."""
+    out = bytearray(struct.pack("<I", len(entries)))
+    for key, handle in entries:
+        out += encode_varint(len(key))
+        out += key
+        out += handle.to_bytes()
+    out += struct.pack("<I", zlib.crc32(bytes(out)))
+    return bytes(out)
+
+
+def decode_index_block(payload: bytes) -> list[tuple[bytes, BlockHandle]]:
+    """Decode :func:`encode_index_block` output (checksum-verified)."""
+    if len(payload) < 8:
+        raise CorruptionError("index block too small")
+    body, crc_bytes = payload[:-4], payload[-4:]
+    if zlib.crc32(body) != struct.unpack("<I", crc_bytes)[0]:
+        raise CorruptionError("index block checksum mismatch")
+    (count,) = struct.unpack("<I", body[:4])
+    offset = 4
+    entries: list[tuple[bytes, BlockHandle]] = []
+    for _ in range(count):
+        key_len, offset = decode_varint(body, offset)
+        key = body[offset : offset + key_len]
+        offset += key_len
+        handle = BlockHandle.from_bytes(body[offset : offset + 16])
+        offset += 16
+        entries.append((key, handle))
+    return entries
+
+
+def _shared_prefix_len(a: bytes, b: bytes) -> int:
+    limit = min(len(a), len(b))
+    for index in range(limit):
+        if a[index] != b[index]:
+            return index
+    return limit

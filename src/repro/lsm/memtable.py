@@ -1,0 +1,152 @@
+"""Skip-list memtable — the in-memory write buffer of the LSM-tree.
+
+A classic probabilistic skip list keyed by byte-string keys.  Overwrites
+replace in place (the memtable holds at most one entry per key; sequence
+ordering across runs is provided by run recency, as in LevelDB-style
+stores).  Deletions store a tombstone tag so a flush propagates them.
+
+The skip list is implemented from scratch (no ``sortedcontainers``): tower
+nodes with geometric height, deterministic per-instance RNG so tests are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.lsm.format import ValueTag
+
+_MAX_HEIGHT = 12
+_BRANCHING = 4
+
+__all__ = ["MemTable"]
+
+
+class _Node:
+    __slots__ = ("key", "tag", "value", "next")
+
+    def __init__(self, key: bytes, tag: int, value: bytes, height: int) -> None:
+        self.key = key
+        self.tag = tag
+        self.value = value
+        self.next: list["_Node | None"] = [None] * height
+
+
+class MemTable:
+    """Sorted in-memory buffer with approximate byte accounting.
+
+    ``approximate_bytes`` counts key+value payload plus a small per-entry
+    overhead so the flush trigger tracks real memory use.
+    """
+
+    _ENTRY_OVERHEAD = 16
+
+    def __init__(self, seed: int = 0) -> None:
+        self._head = _Node(b"", ValueTag.PUT, b"", _MAX_HEIGHT)
+        self._height = 1
+        self._rng = random.Random(seed)
+        self._num_entries = 0
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_entries
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Approximate memory footprint of buffered entries."""
+        return self._bytes
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no entries are buffered."""
+        return self._num_entries == 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        self._upsert(key, ValueTag.PUT, value)
+
+    def delete(self, key: bytes) -> None:
+        """Record a tombstone for ``key``."""
+        self._upsert(key, ValueTag.DELETE, b"")
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_predecessors(self, key: bytes) -> list[_Node]:
+        """Per-level rightmost nodes with key < ``key``."""
+        previous = [self._head] * _MAX_HEIGHT
+        node = self._head
+        for level in range(self._height - 1, -1, -1):
+            while node.next[level] is not None and node.next[level].key < key:
+                node = node.next[level]
+            previous[level] = node
+        return previous
+
+    def _upsert(self, key: bytes, tag: int, value: bytes) -> None:
+        previous = self._find_predecessors(key)
+        candidate = previous[0].next[0]
+        if candidate is not None and candidate.key == key:
+            self._bytes += len(value) - len(candidate.value)
+            candidate.tag = tag
+            candidate.value = value
+            return
+        height = self._random_height()
+        if height > self._height:
+            self._height = height
+        node = _Node(key, tag, value, height)
+        for level in range(height):
+            node.next[level] = previous[level].next[level]
+            previous[level].next[level] = node
+        self._num_entries += 1
+        self._bytes += len(key) + len(value) + self._ENTRY_OVERHEAD
+
+    # ------------------------------------------------------------------
+    # Lookup / iteration
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> tuple[int, bytes] | None:
+        """Return ``(tag, value)`` or None when the key is not buffered."""
+        node = self._find_predecessors(key)[0].next[0]
+        if node is not None and node.key == key:
+            return node.tag, node.value
+        return None
+
+    def entries(self) -> Iterator[tuple[bytes, int, bytes]]:
+        """Yield ``(key, tag, value)`` in ascending key order."""
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key, node.tag, node.value
+            node = node.next[0]
+
+    def entries_from(self, key: bytes) -> Iterator[tuple[bytes, int, bytes]]:
+        """Yield entries with key >= ``key`` in ascending order."""
+        node = self._find_predecessors(key)[0].next[0]
+        while node is not None:
+            yield node.key, node.tag, node.value
+            node = node.next[0]
+
+    def min_key(self) -> bytes | None:
+        """Smallest buffered key (None when empty)."""
+        node = self._head.next[0]
+        return node.key if node is not None else None
+
+    def max_key(self) -> bytes | None:
+        """Largest buffered key (None when empty) — O(n) walk."""
+        node = self._head.next[0]
+        if node is None:
+            return None
+        # Walk the highest populated levels for an O(log n)-ish descent.
+        current = self._head
+        for level in range(self._height - 1, -1, -1):
+            while current.next[level] is not None:
+                current = current.next[level]
+        return current.key

@@ -1,0 +1,320 @@
+"""SST (Static Sorted Table) files — the on-disk runs of the LSM-tree.
+
+Layout (all offsets in the fixed-size footer)::
+
+    [data block 0] ... [data block N-1]
+    [index block]      # fence pointers: last key + handle per data block
+    [filter block]     # serialized filter envelope (optional)
+    [meta block]       # entry count, min/max key
+    [footer]           # 3 block handles + magic
+
+One filter instance exists per SST file, exactly as the paper integrates
+Rosetta into RocksDB ("A Rosetta instance is created for every SST file");
+the filter is serialized into the file and must be fetched + deserialized
+before probing (the costs Fig. 5(A2) breaks down).
+
+The reader's block accesses go through the block cache and the storage
+environment, so cache priorities and modeled device latency apply to every
+path that touches the file.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import CorruptionError, FilterBuildError
+from repro.filters.base import FilterFactory, KeyFilter, serialize_envelope
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.env import StorageEnv
+from repro.lsm.format import (
+    BlockHandle,
+    DataBlockBuilder,
+    ValueTag,
+    decode_data_block,
+    decode_index_block,
+    encode_index_block,
+)
+from repro.lsm.options import DBOptions
+from repro.lsm.stats import Stopwatch
+
+_FOOTER = struct.Struct("<QQQQQQI")
+_MAGIC = 0x524F5345  # "ROSE"
+
+__all__ = ["SSTWriter", "SSTReader", "SSTMeta"]
+
+
+@dataclass(frozen=True)
+class SSTMeta:
+    """Summary metadata of one SST file."""
+
+    name: str
+    num_entries: int
+    min_key: bytes
+    max_key: bytes
+    file_size: int
+
+    def overlaps(self, low: bytes, high: bytes) -> bool:
+        """Whether the file's key span intersects ``[low, high]``."""
+        return self.min_key <= high and self.max_key >= low
+
+
+class SSTWriter:
+    """Builds one SST file from entries added in strictly increasing order."""
+
+    def __init__(
+        self,
+        env: StorageEnv,
+        name: str,
+        options: DBOptions,
+        filter_factory: FilterFactory | None = None,
+    ) -> None:
+        self._env = env
+        self.name = name
+        self._options = options
+        self._filter_factory = (
+            filter_factory if filter_factory is not None else options.filter_factory
+        )
+        self._blocks: list[bytes] = []
+        self._index: list[tuple[bytes, int]] = []  # (last key, block length)
+        self._builder = DataBlockBuilder(options.block_restart_interval)
+        self._last_key: bytes | None = None
+        self._min_key: bytes | None = None
+        self._num_entries = 0
+        self._int_keys: list[int] = []
+
+    def add(self, key: bytes, tag: int, value: bytes) -> None:
+        """Append one entry (keys strictly increasing)."""
+        if self._last_key is not None and key <= self._last_key:
+            raise FilterBuildError("SST keys must be strictly increasing")
+        if self._min_key is None:
+            self._min_key = key
+        self._builder.add(key, tag, value)
+        self._last_key = key
+        self._num_entries += 1
+        self._int_keys.append(int.from_bytes(key, "big"))
+        if self._builder.size_estimate() >= self._options.block_size_bytes:
+            self._cut_block()
+
+    def _cut_block(self) -> None:
+        if self._builder.num_entries == 0:
+            return
+        block = self._builder.finish()
+        self._blocks.append(block)
+        self._index.append((self._last_key, len(block)))
+        self._builder = DataBlockBuilder(self._options.block_restart_interval)
+
+    @property
+    def estimated_file_size(self) -> int:
+        """Bytes written so far plus the open block (for size-based cuts)."""
+        return sum(len(b) for b in self._blocks) + self._builder.size_estimate()
+
+    @property
+    def num_entries(self) -> int:
+        """Entries added so far."""
+        return self._num_entries
+
+    def finish(self) -> SSTMeta:
+        """Seal and persist the file; returns its metadata.
+
+        Filter construction time and serialization time are charged to the
+        environment's stats (Fig. 6's construction-cost accounting).
+        """
+        if self._num_entries == 0:
+            raise FilterBuildError("cannot finish an empty SST")
+        self._cut_block()
+        stats = self._env.stats
+
+        offset = 0
+        parts: list[bytes] = []
+        index_entries: list[tuple[bytes, BlockHandle]] = []
+        for block, (last_key, length) in zip(self._blocks, self._index):
+            parts.append(block)
+            index_entries.append((last_key, BlockHandle(offset, length)))
+            offset += length
+
+        index_block = encode_index_block(index_entries)
+        index_handle = BlockHandle(offset, len(index_block))
+        parts.append(index_block)
+        offset += len(index_block)
+
+        filter_block = b""
+        if self._filter_factory is not None:
+            with Stopwatch(stats, "filter_construction_ns"):
+                filt = self._filter_factory.build(self._int_keys)
+            stats.filters_built += 1
+            with Stopwatch(stats, "serialize_ns"):
+                filter_block = serialize_envelope(filt)
+        filter_handle = BlockHandle(offset, len(filter_block))
+        parts.append(filter_block)
+        offset += len(filter_block)
+
+        meta_block = (
+            struct.pack("<Q", self._num_entries)
+            + struct.pack("<I", len(self._min_key))
+            + self._min_key
+            + struct.pack("<I", len(self._last_key))
+            + self._last_key
+        )
+        meta_handle = BlockHandle(offset, len(meta_block))
+        parts.append(meta_block)
+        offset += len(meta_block)
+
+        parts.append(
+            _FOOTER.pack(
+                index_handle.offset,
+                index_handle.size,
+                filter_handle.offset,
+                filter_handle.size,
+                meta_handle.offset,
+                meta_handle.size,
+                _MAGIC,
+            )
+        )
+        payload = b"".join(parts)
+        self._env.write_file(self.name, payload)
+        return SSTMeta(
+            name=self.name,
+            num_entries=self._num_entries,
+            min_key=self._min_key,
+            max_key=self._last_key,
+            file_size=len(payload),
+        )
+
+
+class SSTReader:
+    """Query-side handle to one SST file.
+
+    Block reads go through the block cache (respecting the priority/pinning
+    options) and the storage environment (charging modeled device time).
+    Filter deserialization goes through the §4 filter dictionary when
+    enabled.
+    """
+
+    def __init__(
+        self,
+        env: StorageEnv,
+        meta: SSTMeta,
+        options: DBOptions,
+        cache: BlockCache,
+        is_level0: bool = False,
+    ) -> None:
+        self._env = env
+        self.meta = meta
+        self._options = options
+        self._cache = cache
+        self._is_level0 = is_level0
+        footer_payload = env.read_block(
+            meta.name, meta.file_size - _FOOTER.size, _FOOTER.size
+        )
+        fields = _FOOTER.unpack(footer_payload)
+        if fields[6] != _MAGIC:
+            raise CorruptionError(f"bad SST magic in {meta.name}")
+        self._index_handle = BlockHandle(fields[0], fields[1])
+        self._filter_handle = BlockHandle(fields[2], fields[3])
+        self._meta_handle = BlockHandle(fields[4], fields[5])
+        index_payload = self._read_metadata_block(self._index_handle)
+        self._fence_pointers = decode_index_block(index_payload)
+        self._fence_keys = [key for key, _ in self._fence_pointers]
+
+    # ------------------------------------------------------------------
+    # Block access
+    # ------------------------------------------------------------------
+    def _read_metadata_block(self, handle: BlockHandle) -> bytes:
+        """Read an index/filter block with metadata cache priority."""
+        return self._read_block(
+            handle,
+            high_priority=self._options.cache_index_and_filter_blocks_with_high_priority,
+            pinned=(
+                self._is_level0
+                and self._options.pin_l0_filter_and_index_blocks_in_cache
+            ),
+            cacheable=self._options.cache_index_and_filter_blocks,
+        )
+
+    def _read_block(
+        self,
+        handle: BlockHandle,
+        high_priority: bool = False,
+        pinned: bool = False,
+        cacheable: bool = True,
+    ) -> bytes:
+        cache_key = (self.meta.name, handle.offset)
+        if cacheable:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._env.stats.block_cache_hits += 1
+                return cached
+            self._env.stats.block_cache_misses += 1
+        payload = self._env.read_block(self.meta.name, handle.offset, handle.size)
+        if cacheable:
+            self._cache.put(cache_key, payload, high_priority, pinned)
+        return payload
+
+    def filter_block_bytes(self) -> bytes:
+        """Raw serialized filter envelope (empty if the SST has no filter)."""
+        if self._filter_handle.size == 0:
+            return b""
+        return self._read_metadata_block(self._filter_handle)
+
+    # ------------------------------------------------------------------
+    # Point lookups
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> tuple[int, bytes] | None:
+        """Return ``(tag, value)`` or None; reads at most one data block."""
+        if not self.meta.min_key <= key <= self.meta.max_key:
+            return None
+        block_index = bisect_left(self._fence_keys, key)
+        if block_index >= len(self._fence_pointers):
+            return None
+        entries = self._decode_data_block(block_index)
+        position = bisect_left(entries, key, key=lambda e: e[0])
+        if position < len(entries) and entries[position][0] == key:
+            _, tag, value = entries[position]
+            return tag, value
+        return None
+
+    def _decode_data_block(self, block_index: int) -> list[tuple[bytes, int, bytes]]:
+        _, handle = self._fence_pointers[block_index]
+        return decode_data_block(self._read_block(handle))
+
+    # ------------------------------------------------------------------
+    # Iteration (the two-level iterator)
+    # ------------------------------------------------------------------
+    def iterate_from(self, key: bytes) -> Iterator[tuple[bytes, int, bytes]]:
+        """Yield entries with key >= ``key``, in order, across blocks.
+
+        This is the child-iterator pair of RocksDB's two-level iterator:
+        an index cursor choosing data blocks and a block cursor scanning
+        entries; each data block is fetched lazily.
+        """
+        first = bisect_left(self._fence_keys, key)
+        for block_index in range(first, len(self._fence_pointers)):
+            entries = self._decode_data_block(block_index)
+            start = 0
+            if block_index == first:
+                start = bisect_left(entries, key, key=lambda e: e[0])
+            yield from entries[start:]
+
+    def num_data_blocks(self) -> int:
+        """Number of data blocks (fence-pointer entries)."""
+        return len(self._fence_pointers)
+
+    def approximate_bytes_in_range(self, low: bytes, high: bytes) -> int:
+        """Estimated on-disk bytes of data blocks touching ``[low, high]``.
+
+        Fence-pointer arithmetic only — no I/O.  Block granular, so small
+        ranges round up to one block (RocksDB's GetApproximateSizes has the
+        same behaviour).
+        """
+        if low > high or not self.meta.overlaps(low, high):
+            return 0
+        first = bisect_left(self._fence_keys, low)
+        last = bisect_left(self._fence_keys, high)
+        last = min(last, len(self._fence_pointers) - 1)
+        return sum(
+            self._fence_pointers[index][1].size
+            for index in range(first, last + 1)
+        )

@@ -1,0 +1,139 @@
+"""Performance counters for the LSM store (paper §5 measurement taxonomy).
+
+The paper instruments RocksDB with ``block_read_time``,
+``iter_seek_cpu_nanos``, and custom stopwatches for serialization,
+deserialization, and filter probes.  :class:`PerfStats` reproduces that
+taxonomy so the benchmark harness can print the same cost breakdowns
+(Fig. 5(A1)/(A2), Fig. 6(B)):
+
+* ``block_read_time_ns`` — modeled device time for data/index/filter block
+  reads (the I/O component);
+* ``residual_seek_ns`` — iterator maintenance CPU: creating and advancing
+  the two-level/merging iterators, fence-pointer comparisons;
+* ``filter_probe_ns`` / ``serialize_ns`` / ``deserialize_ns`` — the filter
+  sub-costs of Fig. 5(A2);
+* compaction counters for Fig. 6's ``T/(R+W)`` overhead metric.
+
+:class:`Stopwatch` is the measuring primitive (mirrors RocksDB's internal
+``stopwatch()`` support).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+
+__all__ = ["PerfStats", "Stopwatch"]
+
+
+@dataclass
+class PerfStats:
+    """Mutable counter set; one per DB instance (cheap to snapshot/diff)."""
+
+    # --- I/O ---
+    block_reads: int = 0
+    block_read_bytes: int = 0
+    block_read_time_ns: int = 0  # modeled device latency
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
+    bytes_written: int = 0
+
+    # --- CPU sub-costs (measured wall time of the code paths) ---
+    filter_probe_ns: int = 0
+    serialize_ns: int = 0
+    deserialize_ns: int = 0
+    residual_seek_ns: int = 0
+
+    # --- Filter verdicts ---
+    filter_probes: int = 0
+    filter_negatives: int = 0
+    filter_true_positives: int = 0
+    filter_false_positives: int = 0
+
+    # --- Query counts ---
+    point_queries: int = 0
+    range_queries: int = 0
+    writes: int = 0
+
+    # --- Flush / compaction (Fig. 6) ---
+    flushes: int = 0
+    compactions: int = 0
+    compaction_bytes_read: int = 0
+    compaction_bytes_written: int = 0
+    compaction_time_ns: int = 0
+    filter_construction_ns: int = 0
+    filters_built: int = 0
+
+    def snapshot(self) -> "PerfStats":
+        """Copy of the current counters."""
+        return PerfStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def diff(self, earlier: "PerfStats") -> "PerfStats":
+        """Counter deltas since ``earlier`` (for per-phase reporting)."""
+        return PerfStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def observed_fpr(self) -> float:
+        """Measured filter FPR: false positives / (negatives + false pos.).
+
+        Matches the paper's convention of evaluating filters on empty
+        queries: among queries the filter *could* have rejected, the share
+        it failed to.
+        """
+        rejectable = self.filter_negatives + self.filter_false_positives
+        if rejectable == 0:
+            return 0.0
+        return self.filter_false_positives / rejectable
+
+    @property
+    def cpu_ns(self) -> int:
+        """Total attributed CPU time (sum of the sub-cost stopwatches)."""
+        return (
+            self.filter_probe_ns
+            + self.serialize_ns
+            + self.deserialize_ns
+            + self.residual_seek_ns
+        )
+
+    def compaction_overhead_us_per_byte(self) -> float:
+        """Fig. 6's ``T / (R + W)`` metric in microseconds per byte."""
+        moved = self.compaction_bytes_read + self.compaction_bytes_written
+        if moved == 0:
+            return 0.0
+        return (self.compaction_time_ns / 1000.0) / moved
+
+
+class Stopwatch:
+    """Context manager accumulating elapsed wall time into a stats field.
+
+    >>> stats = PerfStats()
+    >>> with Stopwatch(stats, "filter_probe_ns"):
+    ...     pass
+    """
+
+    __slots__ = ("_stats", "_field", "_start")
+
+    def __init__(self, stats: PerfStats, field_name: str) -> None:
+        self._stats = stats
+        self._field = field_name
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter_ns() - self._start
+        setattr(self._stats, self._field, getattr(self._stats, self._field) + elapsed)

@@ -1,0 +1,150 @@
+"""Level/run metadata — which SST files make up the tree right now.
+
+``Version`` tracks L0 (overlapping files, newest first — each a flushed
+memtable) and levels 1+ (sorted, non-overlapping files forming one run per
+level).  Readers enumerate runs newest-to-oldest so the merging iterator's
+priorities implement shadowing; compaction swaps file sets atomically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StoreError
+from repro.lsm.sstable import SSTReader
+
+__all__ = ["Run", "Version"]
+
+
+@dataclass
+class Run:
+    """One SST file plus its reader handle and its level.
+
+    ``group_id`` ties together the files produced by one merge: under
+    tiered compaction a level holds several sorted *groups* (runs in the
+    LSM sense), each possibly spanning multiple size-capped files.  Files
+    in the same group never overlap; files in different groups may.
+    Leveled compaction leaves it None (one group per level).
+    """
+
+    reader: SSTReader
+    level: int
+    group_id: int | None = None
+
+    @property
+    def name(self) -> str:
+        """File name of the SST."""
+        return self.reader.meta.name
+
+    @property
+    def file_size(self) -> int:
+        """Size of the SST file in bytes."""
+        return self.reader.meta.file_size
+
+    def overlaps(self, low: bytes, high: bytes) -> bool:
+        """Whether the run's key span intersects ``[low, high]``."""
+        return self.reader.meta.overlaps(low, high)
+
+
+@dataclass
+class Version:
+    """Mutable view of the current tree shape."""
+
+    level0: list[Run] = field(default_factory=list)  # newest first
+    levels: dict[int, list[Run]] = field(default_factory=dict)  # level -> sorted runs
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_level0(self, run: Run) -> None:
+        """Register a freshly flushed L0 file (most recent first)."""
+        self.level0.insert(0, run)
+
+    def install_level(self, level: int, runs: list[Run]) -> None:
+        """Replace the whole file set of ``level`` (leveled compaction).
+
+        Enforces the leveled invariant: one sorted, non-overlapping run.
+        """
+        if level < 1:
+            raise StoreError("install_level applies to levels >= 1")
+        runs = sorted(runs, key=lambda r: r.reader.meta.min_key)
+        for left, right in zip(runs, runs[1:]):
+            if left.reader.meta.max_key >= right.reader.meta.min_key:
+                raise StoreError(
+                    f"level {level} files overlap after compaction"
+                )
+        self.levels[level] = runs
+
+    def prepend_group(self, level: int, runs: list[Run]) -> None:
+        """Add a fresh sorted group at the *front* of ``level`` (tiered).
+
+        Groups at a tiered level may overlap each other; recency order is
+        list order (newest first), which the merging iterator's priorities
+        rely on for shadowing.
+        """
+        if level < 1:
+            raise StoreError("prepend_group applies to levels >= 1")
+        ordered = sorted(runs, key=lambda r: r.reader.meta.min_key)
+        for left, right in zip(ordered, ordered[1:]):
+            if left.reader.meta.max_key >= right.reader.meta.min_key:
+                raise StoreError("files within one group must not overlap")
+        self.levels[level] = ordered + self.levels.get(level, [])
+
+    def num_groups(self, level: int) -> int:
+        """Distinct sorted groups at ``level`` (files w/o a group count 1 each)."""
+        runs = self.level_runs(level)
+        group_ids = {run.group_id for run in runs if run.group_id is not None}
+        loose = sum(1 for run in runs if run.group_id is None)
+        return len(group_ids) + loose
+
+    def clear_level0(self) -> list[Run]:
+        """Remove and return all L0 runs (they were just compacted)."""
+        runs, self.level0 = self.level0, []
+        return runs
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def level_runs(self, level: int) -> list[Run]:
+        """Runs at ``level`` (sorted by min key for level >= 1)."""
+        if level == 0:
+            return list(self.level0)
+        return list(self.levels.get(level, []))
+
+    def level_size_bytes(self, level: int) -> int:
+        """Total file bytes at ``level``."""
+        return sum(run.file_size for run in self.level_runs(level))
+
+    def max_populated_level(self) -> int:
+        """Deepest level holding any file (0 when only L0/nothing)."""
+        populated = [lvl for lvl, runs in self.levels.items() if runs]
+        return max(populated) if populated else 0
+
+    def all_runs_newest_first(self) -> list[Run]:
+        """Every run ordered by recency: L0 newest-first, then L1, L2, ..."""
+        ordered = list(self.level0)
+        for level in sorted(self.levels):
+            ordered.extend(self.levels[level])
+        return ordered
+
+    def runs_for_range(self, low: bytes, high: bytes) -> list[Run]:
+        """Runs whose key span intersects ``[low, high]``, newest first."""
+        return [run for run in self.all_runs_newest_first() if run.overlaps(low, high)]
+
+    def runs_for_key(self, key: bytes) -> list[Run]:
+        """Runs that may hold ``key``, newest first."""
+        return self.runs_for_range(key, key)
+
+    def total_files(self) -> int:
+        """Number of live SST files."""
+        return len(self.level0) + sum(len(r) for r in self.levels.values())
+
+    def describe(self) -> str:
+        """Human-readable tree shape, one line per populated level."""
+        lines = [f"L0: {len(self.level0)} files"]
+        for level in sorted(self.levels):
+            runs = self.levels[level]
+            if runs:
+                size_mb = sum(r.file_size for r in runs) / (1 << 20)
+                lines.append(f"L{level}: {len(runs)} files, {size_mb:.2f} MiB")
+        return "\n".join(lines)

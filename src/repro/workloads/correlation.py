@@ -1,0 +1,61 @@
+"""Key-query correlated workloads (§5, Fig. 5(B)).
+
+The paper models correlation with a factor θ: "a range query with
+correlation degree θ has its lower bound at a distance θ from the lower
+bound generated using the distribution" — concretely, the query's lower
+bound is ``existing_key + θ``.  Such queries are empty yet sit right next
+to stored keys, sharing long prefixes with them; this is the workload where
+trie-culling (SuRF) and prefix-hashing filters produce a false positive on
+almost every query, while Rosetta's exact per-level prefix probes do not.
+
+This module is a thin, documented façade over
+:class:`~repro.workloads.ycsb.WorkloadBuilder`'s correlation support, plus
+a sweep helper used by the Fig. 5(B)/8(E–G) benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import WorkloadError
+from repro.workloads.ycsb import Workload, WorkloadBuilder
+
+__all__ = ["correlated_range_queries", "correlation_sweep"]
+
+
+def correlated_range_queries(
+    keys: Sequence[int],
+    key_bits: int,
+    count: int,
+    range_size: int,
+    theta: int = 1,
+    seed: int = 0,
+) -> Workload:
+    """``count`` empty range queries whose lows sit ``theta`` above a key.
+
+    ``theta=1`` (the paper's setting) makes every query start immediately
+    after an existing key — the adversarial "find the next order id" case.
+    """
+    if theta < 1:
+        raise WorkloadError(f"theta must be >= 1, got {theta}")
+    builder = WorkloadBuilder(keys, key_bits, seed=seed)
+    return builder.empty_range_queries(
+        count, range_size, correlation_offset=theta
+    )
+
+
+def correlation_sweep(
+    keys: Sequence[int],
+    key_bits: int,
+    count: int,
+    range_size: int,
+    thetas: Sequence[int] = (1, 2, 4, 8, 16),
+    seed: int = 0,
+) -> dict[int, Workload]:
+    """One correlated workload per θ, for sensitivity benchmarks."""
+    return {
+        theta: correlated_range_queries(
+            keys, key_bits, count, range_size, theta=theta, seed=seed + theta
+        )
+        for theta in thetas
+    }

@@ -1,0 +1,116 @@
+"""Synthetic Wikipedia-Extraction-like string dataset (Fig. 10 substitute).
+
+The paper's string experiment uses the AWS *Wikipedia Extraction (WEX)*
+dump — article titles and relational features extracted from English
+Wikipedia.  That dataset is unavailable offline, so this module generates a
+synthetic corpus reproducing the distributional properties the experiment
+actually exercises:
+
+* **variable-length keys** (titles span a few to dozens of bytes),
+* **heavy shared prefixes** (titles cluster by leading words/categories —
+  the property that stresses trie culling and prefix indexing),
+* **Zipf-weighted vocabulary** (a small set of very common leading words).
+
+Titles are built as 1–4 words drawn from a Zipf-weighted vocabulary with
+namespace-style prefixes (``Category:``, ``Template:``, ...) mixed in, then
+deduplicated.  Queries are drawn uniformly from the corpus neighbourhood
+exactly as the paper draws its workload from the dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["generate_wex_titles", "string_to_int_key", "StringKeyCodec"]
+
+_NAMESPACES = [b"", b"", b"", b"Category:", b"Template:", b"Wikipedia:", b"Talk:"]
+
+_SYLLABLES = [
+    b"an", b"ber", b"can", b"den", b"el", b"fran", b"gar", b"hol", b"in",
+    b"jor", b"kar", b"lan", b"mar", b"nor", b"or", b"pol", b"qui", b"ran",
+    b"ser", b"ton", b"un", b"ver", b"wil", b"xen", b"york", b"zur",
+]
+
+
+def _make_vocabulary(rng: np.random.Generator, size: int) -> list[bytes]:
+    """A deterministic pseudo-English vocabulary of ``size`` words."""
+    words = []
+    for _ in range(size):
+        num_syllables = int(rng.integers(1, 4))
+        picks = rng.integers(0, len(_SYLLABLES), size=num_syllables)
+        word = b"".join(_SYLLABLES[p] for p in picks)
+        words.append(word.capitalize())
+    return words
+
+
+def generate_wex_titles(
+    count: int, seed: int = 0, vocabulary_size: int = 2000
+) -> list[bytes]:
+    """``count`` distinct Wikipedia-title-like byte strings, sorted.
+
+    Zipf-weighted word choice concentrates leading words, producing the
+    shared-prefix structure of real title corpora.
+    """
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    vocabulary = _make_vocabulary(rng, vocabulary_size)
+    # Zipf weights over the vocabulary: rank r gets weight 1/r^0.9.
+    ranks = np.arange(1, vocabulary_size + 1)
+    weights = 1.0 / ranks ** 0.9
+    weights /= weights.sum()
+
+    titles: set[bytes] = set()
+    while len(titles) < count:
+        need = count - len(titles)
+        batch = need + need // 2 + 16
+        namespaces = rng.integers(0, len(_NAMESPACES), size=batch)
+        lengths = rng.integers(1, 5, size=batch)
+        word_picks = rng.choice(vocabulary_size, size=(batch, 4), p=weights)
+        for i in range(batch):
+            words = [vocabulary[word_picks[i, j]] for j in range(lengths[i])]
+            title = _NAMESPACES[namespaces[i]] + b"_".join(words)
+            titles.add(title)
+            if len(titles) >= count:
+                break
+    return sorted(titles)
+
+
+def string_to_int_key(value: bytes, key_bits: int) -> int:
+    """Map a byte string into a ``2^key_bits`` integer domain, order-preserving.
+
+    Truncates/zero-pads to ``key_bits`` bits (big-endian), so lexicographic
+    order of the originals is preserved up to truncation ties.  Used to run
+    string corpora through the integer-keyed filters and LSM store.
+    """
+    if key_bits % 8:
+        raise WorkloadError(f"key_bits must be byte-aligned, got {key_bits}")
+    width = key_bits // 8
+    padded = value[:width] + b"\x00" * max(0, width - len(value))
+    return int.from_bytes(padded, "big")
+
+
+class StringKeyCodec:
+    """Bidirectional-enough codec between strings and the integer domain.
+
+    Encoding is order-preserving but lossy past ``key_bits`` bits; the codec
+    tracks collisions so experiments can report the effective distinct-key
+    count after truncation.
+    """
+
+    def __init__(self, key_bits: int = 128) -> None:
+        if key_bits % 8:
+            raise WorkloadError(f"key_bits must be byte-aligned, got {key_bits}")
+        self.key_bits = key_bits
+
+    def encode(self, value: bytes) -> int:
+        """Byte string -> integer key."""
+        return string_to_int_key(value, self.key_bits)
+
+    def encode_all(self, values: list[bytes]) -> tuple[list[int], int]:
+        """Encode a corpus; returns (keys, number of truncation collisions)."""
+        keys = [self.encode(v) for v in values]
+        collisions = len(keys) - len(set(keys))
+        return keys, collisions

@@ -1,0 +1,110 @@
+"""Workload trace recording and replay.
+
+Benchmark reproducibility across machines and sessions benefits from
+*materialized* workloads: a query sequence generated once, written to a
+trace file, and replayed bit-identically later (or shared alongside
+results).  Traces are JSON-lines — one query per line — with a header line
+carrying provenance (key domain, generator description, metadata).
+
+::
+
+    save_trace("fig5_range16.trace", workload, key_bits=64)
+    workload = load_trace("fig5_range16.trace")
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.errors import WorkloadError
+from repro.workloads.ycsb import Query, Workload
+
+_FORMAT_VERSION = 1
+
+__all__ = ["save_trace", "load_trace", "replay"]
+
+
+def save_trace(path: str, workload: Workload, key_bits: int = 64) -> None:
+    """Write a workload to a JSON-lines trace file."""
+    with open(path, "w") as handle:
+        header = {
+            "version": _FORMAT_VERSION,
+            "key_bits": key_bits,
+            "description": workload.description,
+            "metadata": workload.metadata,
+            "num_queries": len(workload),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for query in workload:
+            handle.write(
+                json.dumps({"k": query.kind, "l": query.low, "h": query.high})
+                + "\n"
+            )
+
+
+def load_trace(path: str) -> Workload:
+    """Load a workload saved with :func:`save_trace`.
+
+    Validates the header and every query (kinds, bounds ordering, count).
+    """
+    with open(path) as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise WorkloadError(f"empty trace file: {path}")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise WorkloadError(f"bad trace header in {path}") from exc
+        if header.get("version") != _FORMAT_VERSION:
+            raise WorkloadError(
+                f"unsupported trace version {header.get('version')!r}"
+            )
+        queries: list[Query] = []
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                kind, low, high = record["k"], record["l"], record["h"]
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise WorkloadError(
+                    f"bad trace record at {path}:{line_number}"
+                ) from exc
+            if kind not in ("point", "range"):
+                raise WorkloadError(
+                    f"unknown query kind {kind!r} at {path}:{line_number}"
+                )
+            if low > high:
+                raise WorkloadError(
+                    f"inverted range at {path}:{line_number}"
+                )
+            queries.append(Query(kind, int(low), int(high)))
+    expected = header.get("num_queries")
+    if expected is not None and expected != len(queries):
+        raise WorkloadError(
+            f"trace {path} advertises {expected} queries, found {len(queries)}"
+        )
+    return Workload(
+        queries,
+        description=header.get("description", ""),
+        metadata=dict(header.get("metadata", {})),
+    )
+
+
+def replay(workload: Workload, point_fn, range_fn) -> list:
+    """Drive a workload through caller-supplied query functions.
+
+    ``point_fn(key)`` handles point queries, ``range_fn(low, high)`` range
+    queries; returns the per-query results in order.  This is the
+    trace-replay counterpart of the harness runners, usable with any
+    object exposing the two calls (a filter, a DB, a remote client...).
+    """
+    results = []
+    for query in workload:
+        if query.kind == "point":
+            results.append(point_fn(query.low))
+        else:
+            results.append(range_fn(query.low, query.high))
+    return results

@@ -1,0 +1,147 @@
+"""Smoke tests for the experiment registry and CLI at tiny scales.
+
+Each figure function must run end to end and produce a well-formed table;
+shape assertions check the paper's qualitative claims where they are stable
+even at tiny scale.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.cli import main as cli_main
+
+TINY = experiments.Scale(num_keys=1500, num_queries=40)
+
+
+class TestFig4:
+    def test_runs_and_orders_probe_costs(self):
+        headers, rows = experiments.fig4_allocation(
+            TINY, range_sizes=(8, 64), strategies=("optimized", "single")
+        )
+        assert len(rows) == 4
+        by_key = {(r[0], r[1]): r for r in rows}
+        # Single-level probes linearly in range size: strictly more probes
+        # than the multi-level mechanism at range 64.
+        assert by_key[(64, "single")][3] > by_key[(64, "optimized")][3]
+
+
+class TestFig5:
+    def test_runs_with_breakdown(self):
+        headers, rows = experiments.fig5_endtoend(
+            TINY, range_sizes=(8,), filters=("rosetta", "fence")
+        )
+        assert len(rows) == 2
+        row = {r[0]: r for r in rows}
+        assert row["fence"][9] == 1.0  # fence FPR on empty interior ranges
+        assert row["rosetta"][9] < 0.5
+        # Fence pays more modeled I/O than Rosetta.
+        assert row["fence"][3] > row["rosetta"][3]
+
+    def test_correlated_workload_runs(self):
+        headers, rows = experiments.fig5_endtoend(
+            TINY, workload="correlated", range_sizes=(8,), filters=("rosetta",)
+        )
+        assert len(rows) == 1
+
+
+class TestFig6:
+    def test_construction_isolated(self):
+        headers, rows = experiments.fig6_construction(
+            TINY, sst_sizes=(16 << 10,), filters=("rosetta", "surf")
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row[3] > 0  # filters were built
+            assert row[4] > 0  # construction time recorded
+
+    def test_write_cost(self):
+        headers, rows = experiments.fig6_write_cost(
+            TINY, filters=("rosetta", "fence")
+        )
+        by_name = {r[0]: r for r in rows}
+        assert by_name["fence"][3] == 0  # no filter construction
+        assert by_name["rosetta"][3] > 0
+        assert by_name["rosetta"][1] >= 1  # compactions happened
+
+
+class TestFig7:
+    def test_rosetta_matches_bloom(self):
+        headers, rows = experiments.fig7_point_queries(
+            TINY, filters=("rosetta", "bloom", "surf-hash"),
+            bits_per_key_sweep=(14,),
+        )
+        fpr = {r[0]: r[3] for r in rows}
+        assert fpr["rosetta"] <= fpr["surf-hash"] + 0.05
+        assert fpr["bloom"] < 0.05
+
+
+class TestFig8:
+    def test_tradeoff_and_decision_map(self):
+        headers, rows = experiments.fig8_tradeoff(
+            TINY, range_size=16, bits_per_key_sweep=(12, 26),
+            filters=("rosetta", "surf"),
+        )
+        assert len(rows) == 4
+        cells = experiments.decision_map(rows)
+        assert len(cells) == 2  # one per bits/key
+        for cell in cells:
+            assert cell[3] in ("rosetta", "surf")
+
+    def test_more_memory_helps_rosetta(self):
+        headers, rows = experiments.fig8_tradeoff(
+            TINY, range_size=16, bits_per_key_sweep=(10, 30),
+            filters=("rosetta",),
+        )
+        fpr = {r[3]: r[4] for r in rows}
+        assert fpr[30] <= fpr[10]
+
+
+class TestFig9:
+    def test_device_ordering(self):
+        headers, rows = experiments.fig9_memory_hierarchy(TINY)
+        rosetta = {r[1]: r[5] for r in rows if r[0] == "rosetta"}
+        assert rosetta["memory-scaled"] <= rosetta["ssd-scaled"] <= rosetta[
+            "hdd-scaled"
+        ]
+
+
+class TestFig10:
+    def test_surf_has_structural_floor(self):
+        headers, rows = experiments.fig10_strings(
+            TINY, bits_per_key_sweep=(6, 26)
+        )
+        low_budget = rows[0]
+        # SuRF's actual bits/key stays above the requested 6.
+        assert low_budget[5] > 10
+        # Rosetta honours the tiny budget exactly.
+        assert low_budget[2] == pytest.approx(6, abs=0.5)
+
+
+class TestTheory:
+    def test_metrics_consistent(self):
+        headers, rows = experiments.theory_validation(TINY)
+        values = dict(rows)
+        assert values["goswami_lower_bound_bits"] < values["actual_memory_bits"] * 1.2
+        assert values["measured_range_fpr"] <= 1.0
+        assert values["predicted_range_fpr"] == pytest.approx(
+            values["measured_range_fpr"], abs=0.25
+        )
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "fig10" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["nope"]) == 2
+
+    def test_runs_theory_and_writes_csv(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        csv_path = str(tmp_path / "theory.csv")
+        assert cli_main(["theory", "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "Experiment: theory" in out
+        with open(csv_path) as handle:
+            assert handle.readline().strip() == "metric,value"

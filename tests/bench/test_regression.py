@@ -1,0 +1,109 @@
+"""Tests for the result-set regression comparison tool."""
+
+import pytest
+
+from repro.bench.regression import (
+    RegressionReport,
+    compare_result_csvs,
+    compare_tables,
+)
+from repro.bench.report import write_csv
+from repro.errors import ReproError
+
+HEADERS = ["filter", "range_size", "fpr", "latency_s"]
+BASELINE = [
+    ["rosetta", "8", "0.001", "0.08"],
+    ["rosetta", "32", "0.010", "0.10"],
+    ["surf", "8", "0.080", "0.24"],
+]
+
+
+class TestCompareTables:
+    def test_identical_match(self):
+        report = compare_tables(HEADERS, BASELINE, BASELINE)
+        assert report.ok
+        assert report.rows_compared == 3
+        assert "MATCH" in report.summary()
+
+    def test_within_tolerance(self):
+        candidate = [
+            ["rosetta", "8", "0.0011", "0.09"],
+            ["rosetta", "32", "0.011", "0.11"],
+            ["surf", "8", "0.075", "0.22"],
+        ]
+        assert compare_tables(HEADERS, BASELINE, candidate, tolerance=0.25).ok
+
+    def test_deviation_flagged(self):
+        candidate = [row[:] for row in BASELINE]
+        candidate[0][2] = "0.5"  # 500x FPR regression
+        report = compare_tables(HEADERS, BASELINE, candidate, tolerance=0.25)
+        assert not report.ok
+        assert any("fpr" in d for d in report.deviations)
+        assert "REGRESSION" in report.summary()
+
+    def test_missing_and_extra_rows(self):
+        candidate = BASELINE[:2] + [["bloom", "8", "0.01", "0.1"]]
+        report = compare_tables(HEADERS, BASELINE, candidate)
+        assert not report.ok
+        assert any("surf" in row for row in report.missing_rows)
+        assert any("bloom" in row for row in report.extra_rows)
+
+    def test_near_zero_values_use_absolute_floor(self):
+        baseline = [["rosetta", "8", "0", "0.1"]]
+        candidate = [["rosetta", "8", "1e-12", "0.1"]]
+        assert compare_tables(HEADERS, baseline, candidate).ok
+
+    def test_non_numeric_changes_rekey_rows(self):
+        candidate = [["rosetta-v2", "8", "0.001", "0.08"]]
+        report = compare_tables(HEADERS, [BASELINE[0]], candidate)
+        assert not report.ok
+        assert report.missing_rows and report.extra_rows
+
+    def test_range_size_keys_rows(self):
+        # range_size is numeric, so rows key on the filter name only if
+        # the numeric cell differs the rows pair differently. Two rows
+        # sharing all non-numeric cells would collide; the builder keys on
+        # every non-numeric column.
+        report = compare_tables(HEADERS, BASELINE, BASELINE)
+        assert report.values_compared == 9  # 3 rows x 3 numeric columns
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ReproError):
+            compare_tables(HEADERS, BASELINE, BASELINE, tolerance=-1)
+
+
+class TestCompareCsvFiles:
+    def test_roundtrip_files(self, tmp_path):
+        old = str(tmp_path / "old.csv")
+        new = str(tmp_path / "new.csv")
+        write_csv(old, HEADERS, BASELINE)
+        write_csv(new, HEADERS, BASELINE)
+        assert compare_result_csvs(old, new).ok
+
+    def test_header_mismatch(self, tmp_path):
+        old = str(tmp_path / "old.csv")
+        new = str(tmp_path / "new.csv")
+        write_csv(old, HEADERS, BASELINE)
+        write_csv(new, ["a", "b"], [["1", "2"]])
+        with pytest.raises(ReproError):
+            compare_result_csvs(old, new)
+
+    def test_empty_csv(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ReproError):
+            compare_result_csvs(str(empty), str(empty))
+
+    def test_experiment_csv_self_compare(self, tmp_path, monkeypatch):
+        """An actual experiment's CSV compares clean against itself."""
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        from repro.cli import main as cli_main
+
+        path = str(tmp_path / "fig4.csv")
+        assert cli_main(["fig4", "--csv", path]) == 0
+        assert compare_result_csvs(path, path).ok
+
+
+class TestReportShape:
+    def test_default_report_ok(self):
+        assert RegressionReport().ok

@@ -1,0 +1,68 @@
+"""Unit tests for the ASCII chart renderer and the CLI chart flag."""
+
+import pytest
+
+from repro.bench.report import ascii_bar_chart
+from repro.cli import main as cli_main
+
+
+class TestAsciiBarChart:
+    def test_linear_proportions(self):
+        chart = ascii_bar_chart(["full", "half"], [1.0, 0.5], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title(self):
+        chart = ascii_bar_chart(["a"], [1.0], title="FPR")
+        assert chart.splitlines()[0] == "FPR"
+
+    def test_log_scale_separates_magnitudes(self):
+        chart = ascii_bar_chart(
+            ["big", "small"], [0.1, 0.0001], width=40, log_scale=True
+        )
+        lines = chart.splitlines()
+        big = lines[0].count("#")
+        small = lines[1].count("#")
+        assert big > small > 0
+
+    def test_zero_values_render_empty_bar(self):
+        chart = ascii_bar_chart(["zero", "one"], [0.0, 1.0], log_scale=True)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 0
+
+    def test_all_zero(self):
+        chart = ascii_bar_chart(["a", "b"], [0.0, 0.0])
+        assert chart.count("#") == 0
+
+    def test_empty_input(self):
+        assert ascii_bar_chart([], [], title="t") == "t"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0], width=0)
+
+    def test_labels_aligned(self):
+        chart = ascii_bar_chart(["x", "longer-label"], [1.0, 1.0])
+        lines = chart.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+
+class TestCliChart:
+    def test_chart_flag_renders_fpr_columns(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        assert cli_main(["theory", "--chart"]) == 0
+        # theory has no *fpr* header -> no chart, but no crash either.
+        out = capsys.readouterr().out
+        assert "Experiment: theory" in out
+
+    def test_chart_on_fpr_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        assert cli_main(["fig4", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "fpr" in out
+        assert "#" in out  # some bar was drawn

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lsm.options import DBOptions
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_keys(rng) -> list[int]:
+    """2,000 distinct random 32-bit keys."""
+    return rng.sample(range(1 << 32), 2000)
+
+
+@pytest.fixture
+def tiny_keys() -> list[int]:
+    """The paper's running example key set (Fig. 2/3), 4-bit domain."""
+    return [3, 6, 7, 8, 9, 11]
+
+
+@pytest.fixture
+def small_db_options() -> DBOptions:
+    """DB options small enough to exercise flush/compaction quickly."""
+    return DBOptions(
+        key_bits=32,
+        memtable_size_bytes=8 << 10,
+        sst_size_bytes=16 << 10,
+        max_bytes_for_level_base=64 << 10,
+        block_size_bytes=1024,
+        block_cache_bytes=1 << 20,
+    )

@@ -1,0 +1,101 @@
+"""Unit tests for the hash functions: determinism, agreement, dispersion."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import (
+    bloom_indexes_array,
+    double_hash_indexes,
+    hash_bytes,
+    hash_int,
+    splitmix64,
+    splitmix64_array,
+)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_bijective_on_sample(self):
+        outputs = {splitmix64(v) for v in range(10000)}
+        assert len(outputs) == 10000
+
+    def test_range(self):
+        for value in (0, 1, 2**64 - 1):
+            assert 0 <= splitmix64(value) < 2**64
+
+    def test_scalar_matches_vectorized(self):
+        values = np.arange(1000, dtype=np.uint64)
+        vectorized = splitmix64_array(values)
+        for value in (0, 1, 63, 999):
+            assert splitmix64(value) == int(vectorized[value])
+
+
+class TestHashInt:
+    def test_seed_changes_output(self):
+        assert hash_int(42, seed=1) != hash_int(42, seed=2)
+
+    def test_wide_integers_supported(self):
+        wide = (1 << 100) + 17
+        assert 0 <= hash_int(wide) < 2**64
+        assert hash_int(wide) != hash_int(wide + 1)
+
+    def test_wide_not_equal_to_truncation(self):
+        wide = 1 << 70
+        assert hash_int(wide) != hash_int(wide & ((1 << 64) - 1))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hash_int(-1)
+
+    def test_dispersion(self):
+        # Hash 10k consecutive ints; bucket into 64 bins; expect rough
+        # uniformity (no bin more than 2x the mean).
+        counts = [0] * 64
+        for value in range(10000):
+            counts[hash_int(value) % 64] += 1
+        assert max(counts) < 2 * (10000 / 64)
+
+
+class TestHashBytes:
+    def test_deterministic(self):
+        assert hash_bytes(b"hello") == hash_bytes(b"hello")
+
+    def test_prefix_independence(self):
+        # A string and its extension should not collide trivially.
+        assert hash_bytes(b"abc") != hash_bytes(b"abcd")
+        assert hash_bytes(b"") != hash_bytes(b"\x00")
+
+    def test_long_input(self):
+        payload = bytes(range(256)) * 10
+        assert 0 <= hash_bytes(payload) < 2**64
+
+    def test_seed_changes_output(self):
+        assert hash_bytes(b"x", seed=1) != hash_bytes(b"x", seed=2)
+
+    def test_single_bit_avalanche(self):
+        base = hash_bytes(b"\x00" * 16)
+        flipped = hash_bytes(b"\x00" * 15 + b"\x01")
+        # At least a quarter of the 64 bits should differ.
+        assert bin(base ^ flipped).count("1") > 16
+
+
+class TestDoubleHashing:
+    def test_yields_k_positions(self):
+        positions = list(double_hash_indexes(12345, 67890, 7, 1024))
+        assert len(positions) == 7
+        assert all(0 <= p < 1024 for p in positions)
+
+    def test_never_degenerates(self):
+        # Even h2 = 0 must not produce a constant sequence.
+        positions = list(double_hash_indexes(5, 0, 8, 64))
+        assert len(set(positions)) > 1
+
+    def test_scalar_matches_vectorized(self):
+        h1 = np.asarray([111, 222, 333], dtype=np.uint64)
+        h2 = np.asarray([444, 555, 666], dtype=np.uint64)
+        matrix = bloom_indexes_array(h1, h2, 5, 509)
+        for row, (a, b) in enumerate(zip(h1, h2)):
+            expected = list(double_hash_indexes(int(a), int(b), 5, 509))
+            assert matrix[row].tolist() == expected

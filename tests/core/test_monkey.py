@@ -1,0 +1,107 @@
+"""Unit tests for Monkey-style cross-run filter memory allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monkey import (
+    MonkeyBudgetPolicy,
+    allocate_run_budgets,
+    expected_false_positive_ios,
+)
+from repro.errors import AllocationError
+
+
+class TestAllocateRunBudgets:
+    def test_budget_respected(self):
+        budgets = allocate_run_budgets([1000, 10_000, 100_000], 1_000_000)
+        assert sum(budgets) == 1_000_000
+        assert all(b >= 0 for b in budgets)
+
+    def test_smaller_runs_get_more_bits_per_key(self):
+        sizes = [1000, 100_000]
+        budgets = allocate_run_budgets(sizes, 10 * sum(sizes))
+        assert budgets[0] / sizes[0] > budgets[1] / sizes[1]
+
+    def test_equal_runs_split_equally(self):
+        budgets = allocate_run_budgets([5000, 5000], 100_000)
+        assert abs(budgets[0] - budgets[1]) <= 1
+
+    def test_zero_size_runs_get_nothing(self):
+        budgets = allocate_run_budgets([0, 1000, 0], 10_000)
+        assert budgets[0] == 0
+        assert budgets[2] == 0
+        assert budgets[1] == 10_000
+
+    def test_zero_budget(self):
+        assert allocate_run_budgets([100, 200], 0) == [0, 0]
+
+    def test_tiny_budget_prefers_small_run(self):
+        # With almost no memory, all of it goes to the cheapest-to-protect
+        # (smallest) run.
+        budgets = allocate_run_budgets([100, 1_000_000], 1000)
+        assert budgets[0] > budgets[1]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AllocationError):
+            allocate_run_budgets([100], -1)
+        with pytest.raises(AllocationError):
+            allocate_run_budgets([-5], 100)
+
+
+class TestExpectedFalsePositiveIos:
+    def test_matches_bloom_formula(self):
+        # One run, 10 bits/key: exp(-10 * ln2^2) ~= 0.00819.
+        cost = expected_false_positive_ios([1000], [10_000])
+        assert cost == pytest.approx(0.00819, rel=0.01)
+
+    def test_sums_over_runs(self):
+        single = expected_false_positive_ios([1000], [10_000])
+        double = expected_false_positive_ios([1000, 1000], [10_000, 10_000])
+        assert double == pytest.approx(2 * single)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(AllocationError):
+            expected_false_positive_ios([1], [1, 2])
+
+
+class TestMonkeyBudgetPolicy:
+    def test_skewed_layout_beats_uniform(self):
+        policy = MonkeyBudgetPolicy(total_bits_per_key=10)
+        improvement = policy.improvement_over_uniform([1000, 10_000, 100_000])
+        assert improvement > 1.5
+
+    def test_balanced_layout_no_gain(self):
+        policy = MonkeyBudgetPolicy(total_bits_per_key=10)
+        assert policy.improvement_over_uniform([5000, 5000]) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_budgets_for_layout_shape(self):
+        policy = MonkeyBudgetPolicy(total_bits_per_key=12)
+        per_run = policy.budgets_for_layout([1000, 100_000])
+        assert per_run[0] > per_run[1] > 0
+        # Weighted mean equals the global budget.
+        total = per_run[0] * 1000 + per_run[1] * 100_000
+        assert total / 101_000 == pytest.approx(12, rel=0.01)
+
+    def test_empty_layout(self):
+        policy = MonkeyBudgetPolicy()
+        assert policy.improvement_over_uniform([]) == 1.0
+
+
+@settings(max_examples=80)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=10**6), min_size=1,
+                   max_size=8),
+    bits_per_key=st.floats(min_value=1, max_value=30),
+)
+def test_property_monkey_never_worse_than_uniform(sizes, bits_per_key):
+    """The optimal allocation can never lose to the uniform one."""
+    pool = int(bits_per_key * sum(sizes))
+    tuned = allocate_run_budgets(sizes, pool)
+    assert sum(tuned) == pool
+    uniform = [int(pool * size / sum(sizes)) for size in sizes]
+    tuned_cost = expected_false_positive_ios(sizes, tuned)
+    uniform_cost = expected_false_positive_ios(sizes, uniform)
+    assert tuned_cost <= uniform_cost * 1.001

@@ -1,0 +1,78 @@
+"""Tests for the capacity-planning helpers in core.analysis."""
+
+import random
+
+import pytest
+
+from repro.core import analysis
+from repro.core.rosetta import Rosetta
+
+
+class TestBudgetForTargetFpr:
+    def test_known_point(self):
+        # Per-subtree target: 0.01 / (2*log2 64) = 1/1200;
+        # 1.4427 * log2(64 * 1200) = 23.43.
+        assert analysis.budget_for_target_fpr(64, 0.01) == pytest.approx(
+            23.43, abs=0.1
+        )
+
+    def test_monotone_in_fpr(self):
+        assert analysis.budget_for_target_fpr(64, 0.001) > (
+            analysis.budget_for_target_fpr(64, 0.1)
+        )
+
+    def test_monotone_in_range(self):
+        assert analysis.budget_for_target_fpr(1024, 0.01) > (
+            analysis.budget_for_target_fpr(4, 0.01)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            analysis.budget_for_target_fpr(0, 0.1)
+        with pytest.raises(ValueError):
+            analysis.budget_for_target_fpr(64, 0.0)
+
+
+class TestAchievableFpr:
+    def test_inverts_budget(self):
+        for fpr in (0.1, 0.01, 0.001):
+            budget = analysis.budget_for_target_fpr(64, fpr)
+            assert analysis.achievable_fpr_for_budget(
+                1000, 64, budget
+            ) == pytest.approx(fpr, rel=1e-6)
+
+    def test_clamped_at_one(self):
+        assert analysis.achievable_fpr_for_budget(1000, 1024, 0.5) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            analysis.achievable_fpr_for_budget(-1, 64, 10)
+        with pytest.raises(ValueError):
+            analysis.achievable_fpr_for_budget(10, 0, 10)
+        with pytest.raises(ValueError):
+            analysis.achievable_fpr_for_budget(10, 64, -1)
+
+    def test_prediction_matches_measurement(self):
+        """Plan a budget for 5% FPR at range 16; the built filter delivers
+        an FPR of that order."""
+        target = 0.05
+        budget = analysis.budget_for_target_fpr(16, target)
+        rng = random.Random(17)
+        keys = rng.sample(range(1 << 32), 8000)
+        filt = Rosetta.build(
+            keys, key_bits=32, bits_per_key=budget, max_range=16,
+            strategy="equilibrium",
+        )
+        key_set = set(keys)
+        fp = trials = 0
+        while trials < 1200:
+            low = rng.randrange((1 << 32) - 16)
+            if any(k in key_set for k in range(low, low + 16)):
+                continue
+            trials += 1
+            fp += filt.may_contain_range(low, low + 15)
+        measured = fp / trials
+        # Within a factor of ~3 of the planned target (the bound is a
+        # first-order model; the win condition is the order of magnitude).
+        assert measured < target * 3
+        assert measured > target / 100

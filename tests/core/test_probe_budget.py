@@ -1,0 +1,95 @@
+"""Tests for Rosetta's bounded-CPU mode (probe_budget).
+
+The explicit CPU/FPR knob: a query may spend at most N Bloom probes; when
+the budget runs out mid-doubt the answer degrades to a (sound) positive.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rosetta import Rosetta
+
+
+@pytest.fixture
+def filt(small_keys):
+    return Rosetta.build(
+        small_keys, key_bits=32, bits_per_key=16, max_range=64,
+        strategy="equilibrium",
+    )
+
+
+class TestProbeBudget:
+    def test_zero_budget_always_positive(self, filt):
+        assert filt.may_contain_range(0, 63, probe_budget=0)
+
+    def test_generous_budget_matches_unbounded(self, filt, small_keys):
+        rng = random.Random(11)
+        for _ in range(100):
+            low = rng.randrange((1 << 32) - 64)
+            high = low + rng.randrange(0, 64)
+            unbounded = filt.may_contain_range(low, high)
+            bounded = filt.may_contain_range(low, high, probe_budget=10_000)
+            assert bounded == unbounded
+
+    def test_budget_respected(self, filt):
+        rng = random.Random(12)
+        for budget in (1, 4, 16):
+            before = filt.stats.bloom_probes
+            filt.may_contain_range(
+                rng.randrange(1 << 31), rng.randrange(1 << 31) + (1 << 31),
+                probe_budget=budget,
+            )
+            spent = filt.stats.bloom_probes - before
+            assert spent <= budget
+
+    def test_no_false_negatives_under_any_budget(self, filt, small_keys):
+        rng = random.Random(13)
+        for key in rng.sample(small_keys, 100):
+            for budget in (1, 3, 10, 100):
+                assert filt.may_contain_range(
+                    max(0, key - 10), key + 10, probe_budget=budget
+                )
+
+    def test_smaller_budget_higher_fpr(self, small_keys):
+        """Less CPU -> more false positives: the tradeoff, quantified."""
+        filt = Rosetta.build(
+            small_keys, key_bits=32, bits_per_key=18, max_range=64,
+            strategy="single",
+        )
+        key_set = set(small_keys)
+        rng = random.Random(14)
+        positives = {2: 0, 64: 0}
+        trials = 0
+        while trials < 300:
+            low = rng.randrange((1 << 32) - 64)
+            if any(k in key_set for k in range(low, low + 32)):
+                continue
+            trials += 1
+            for budget in positives:
+                positives[budget] += filt.may_contain_range(
+                    low, low + 31, probe_budget=budget
+                )
+        assert positives[2] >= positives[64]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    keys=st.sets(st.integers(min_value=0, max_value=65535), min_size=1,
+                 max_size=40),
+    low=st.integers(min_value=0, max_value=65535),
+    size=st.integers(min_value=1, max_value=64),
+    budget=st.integers(min_value=0, max_value=64),
+)
+def test_property_budgeted_queries_sound(keys, low, size, budget):
+    """A budgeted answer may only differ from unbounded as False->True."""
+    filt = Rosetta.build(keys, key_bits=16, bits_per_key=12, max_range=32)
+    high = min(low + size - 1, 65535)
+    if low > high:
+        return
+    unbounded = filt.may_contain_range(low, high)
+    bounded = filt.may_contain_range(low, high, probe_budget=budget)
+    if unbounded:
+        assert bounded  # can never turn a positive into a negative

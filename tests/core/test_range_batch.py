@@ -1,0 +1,76 @@
+"""Tests for vectorized batch range lookups."""
+
+import numpy as np
+import pytest
+
+from repro.core.rosetta import Rosetta
+from repro.errors import FilterQueryError
+
+
+def _queries(rng, count, size):
+    lows = [rng.randrange((1 << 32) - size) for _ in range(count)]
+    return lows, [low + size - 1 for low in lows]
+
+
+class TestSingleLevelFastPath:
+    @pytest.fixture
+    def filt(self, small_keys):
+        return Rosetta.build(
+            small_keys, key_bits=32, bits_per_key=18, max_range=32,
+            strategy="single",
+        )
+
+    def test_matches_scalar(self, filt, rng):
+        lows, highs = _queries(rng, 300, 16)
+        batch = filt.may_contain_range_batch(lows, highs)
+        for low, high, verdict in zip(lows, highs, batch):
+            assert verdict == filt.may_contain_range(low, high)
+
+    def test_no_false_negatives(self, filt, small_keys):
+        lows = [max(0, k - 3) for k in small_keys[:300]]
+        highs = [k + 3 for k in small_keys[:300]]
+        assert filt.may_contain_range_batch(lows, highs).all()
+
+    def test_probe_accounting(self, filt):
+        filt.stats.reset()
+        filt.may_contain_range_batch([0, 100], [7, 115])
+        assert filt.stats.range_queries == 2
+        assert filt.stats.bloom_probes == 8 + 16
+
+    def test_high_clamped_to_domain(self, filt):
+        result = filt.may_contain_range_batch(
+            [(1 << 32) - 4], [(1 << 32) + 100]
+        )
+        assert len(result) == 1
+
+    def test_invalid_inputs(self, filt):
+        with pytest.raises(FilterQueryError):
+            filt.may_contain_range_batch([5], [4])
+        with pytest.raises(FilterQueryError):
+            filt.may_contain_range_batch([1, 2], [3])
+
+    def test_empty_batch(self, filt):
+        assert filt.may_contain_range_batch([], []).tolist() == []
+
+
+class TestMultiLevelFallback:
+    def test_matches_scalar(self, small_keys, rng):
+        filt = Rosetta.build(
+            small_keys, key_bits=32, bits_per_key=18, max_range=32,
+            strategy="equilibrium",
+        )
+        lows, highs = _queries(rng, 200, 16)
+        batch = filt.may_contain_range_batch(lows, highs)
+        # Scalar replay must agree (probing is deterministic).
+        for low, high, verdict in zip(lows, highs, batch):
+            assert verdict == filt.may_contain_range(low, high)
+
+    def test_empty_filter(self):
+        filt = Rosetta.build([], key_bits=16, bits_per_key=10)
+        assert not filt.may_contain_range_batch([0, 5], [3, 9]).any()
+
+    def test_returns_numpy_bool_array(self, small_keys):
+        filt = Rosetta.build(small_keys, key_bits=32, bits_per_key=12)
+        result = filt.may_contain_range_batch([0], [100])
+        assert isinstance(result, np.ndarray)
+        assert result.dtype == bool

@@ -1,0 +1,77 @@
+"""Tests for Rosetta's vectorized batch point lookups and describe()."""
+
+import numpy as np
+import pytest
+
+from repro.core.rosetta import Rosetta
+from repro.errors import FilterQueryError
+
+
+@pytest.fixture
+def filt(small_keys):
+    return Rosetta.build(small_keys, key_bits=32, bits_per_key=14, max_range=32)
+
+
+class TestBatchPointLookups:
+    def test_matches_scalar(self, filt, rng):
+        probes = [rng.randrange(1 << 32) for _ in range(2000)]
+        batch = filt.may_contain_batch(probes)
+        for probe, verdict in zip(probes, batch):
+            assert verdict == filt.may_contain(probe)
+
+    def test_no_false_negatives(self, filt, small_keys):
+        assert filt.may_contain_batch(small_keys).all()
+
+    def test_empty_batch(self, filt):
+        assert filt.may_contain_batch([]).tolist() == []
+
+    def test_empty_filter(self):
+        filt = Rosetta.build([], key_bits=16, bits_per_key=10)
+        assert not filt.may_contain_batch([1, 2, 3]).any()
+
+    def test_stats_counted(self, filt):
+        filt.stats.reset()
+        filt.may_contain_batch(np.arange(100, dtype=np.uint64))
+        assert filt.stats.point_queries == 100
+        assert filt.stats.bloom_probes == 100
+
+    def test_domain_validation(self, filt):
+        with pytest.raises(FilterQueryError):
+            filt.may_contain_batch([1 << 33])
+
+    def test_wide_domain_rejected(self):
+        filt = Rosetta.build([1 << 70], key_bits=96, bits_per_key=12)
+        with pytest.raises(FilterQueryError):
+            filt.may_contain_batch([1])
+
+    def test_throughput_advantage(self, filt, rng):
+        """The batch path must actually be faster than the scalar loop."""
+        import time
+
+        probes = np.asarray(
+            [rng.randrange(1 << 32) for _ in range(5000)], dtype=np.uint64
+        )
+        start = time.perf_counter()
+        filt.may_contain_batch(probes)
+        batch_time = time.perf_counter() - start
+        start = time.perf_counter()
+        for probe in probes[:500]:
+            filt.may_contain(int(probe))
+        scalar_time = (time.perf_counter() - start) * 10  # extrapolate
+        assert batch_time < scalar_time
+
+
+class TestDescribe:
+    def test_mentions_every_level(self, filt):
+        text = filt.describe()
+        assert f"{filt.num_levels} levels" in text
+        assert len(text.splitlines()) == 2 + filt.num_levels
+
+    def test_empty_levels_marked(self, small_keys):
+        filt = Rosetta.build(
+            small_keys, key_bits=32, bits_per_key=20, max_range=64,
+            strategy="single",
+        )
+        text = filt.describe()
+        assert "empty" in text
+        assert "single" in text

@@ -1,0 +1,110 @@
+"""Property-based tests for Rosetta's core guarantee: no false negatives.
+
+A range filter may err only one way — claiming a possibly-empty range is
+non-empty.  These hypothesis suites hammer that invariant across random key
+sets, domains, budgets, strategies, and query shapes, and cross-check the
+filter against an exact oracle.
+"""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import STRATEGIES
+from repro.core.rosetta import Rosetta
+
+_key_sets = st.lists(
+    st.integers(min_value=0, max_value=(1 << 16) - 1),
+    min_size=1,
+    max_size=60,
+    unique=True,
+)
+
+
+def _oracle_nonempty(sorted_keys: list[int], low: int, high: int) -> bool:
+    idx = bisect.bisect_left(sorted_keys, low)
+    return idx < len(sorted_keys) and sorted_keys[idx] <= high
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    keys=_key_sets,
+    strategy=st.sampled_from(STRATEGIES),
+    bits_per_key=st.floats(min_value=2, max_value=40),
+    low=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    size=st.integers(min_value=1, max_value=200),
+)
+def test_never_false_negative_on_ranges(keys, strategy, bits_per_key, low, size):
+    filt = Rosetta.build(
+        keys, key_bits=16, bits_per_key=bits_per_key, max_range=64,
+        strategy=strategy,
+    )
+    high = min(low + size - 1, (1 << 16) - 1)
+    if low > high:
+        return
+    if _oracle_nonempty(sorted(keys), low, high):
+        assert filt.may_contain_range(low, high)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    keys=_key_sets,
+    strategy=st.sampled_from(STRATEGIES),
+    probe=st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+def test_never_false_negative_on_points(keys, strategy, probe):
+    filt = Rosetta.build(
+        keys, key_bits=16, bits_per_key=12, max_range=32, strategy=strategy
+    )
+    if probe in set(keys):
+        assert filt.may_contain(probe)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    keys=_key_sets,
+    low=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    size=st.integers(min_value=1, max_value=128),
+)
+def test_tightened_range_is_sound(keys, low, size):
+    """Tightening must keep every truly-present key inside the window."""
+    filt = Rosetta.build(keys, key_bits=16, bits_per_key=16, max_range=64)
+    high = min(low + size - 1, (1 << 16) - 1)
+    if low > high:
+        return
+    result = filt.tightened_range(low, high)
+    inside = [k for k in keys if low <= k <= high]
+    if inside:
+        assert result is not None
+        eff_low, eff_high = result
+        assert eff_low <= min(inside)
+        assert eff_high >= max(inside)
+        assert low <= eff_low and eff_high <= high
+
+
+@settings(max_examples=80, deadline=None)
+@given(keys=_key_sets, strategy=st.sampled_from(STRATEGIES))
+def test_serialization_roundtrip_equivalence(keys, strategy):
+    """A deserialized filter answers identically to the original."""
+    filt = Rosetta.build(
+        keys, key_bits=16, bits_per_key=8, max_range=16, strategy=strategy
+    )
+    restored = Rosetta.from_bytes(filt.to_bytes())
+    for probe in list(keys)[:10] + [0, (1 << 16) - 1, 777]:
+        assert restored.may_contain(probe) == filt.may_contain(probe)
+    for low in (0, 100, 60000):
+        assert restored.may_contain_range(low, low + 15) == filt.may_contain_range(
+            low, low + 15
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    keys=_key_sets,
+    bits_per_key=st.floats(min_value=4, max_value=32),
+)
+def test_memory_budget_respected(keys, bits_per_key):
+    filt = Rosetta.build(keys, key_bits=16, bits_per_key=bits_per_key)
+    budget = bits_per_key * len(set(keys))
+    assert abs(filt.size_in_bits() - budget) <= max(16, budget * 0.01)

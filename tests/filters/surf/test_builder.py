@@ -1,0 +1,139 @@
+"""Unit tests for culled-trie construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FilterBuildError
+from repro.filters.surf.builder import (
+    TERM_SYMBOL,
+    build_culled_trie,
+    cull_depths,
+    longest_common_prefix,
+)
+
+
+class TestLcp:
+    def test_basic(self):
+        assert longest_common_prefix(b"abcde", b"abXde") == 2
+        assert longest_common_prefix(b"abc", b"abc") == 3
+        assert longest_common_prefix(b"abc", b"abcd") == 3
+        assert longest_common_prefix(b"", b"x") == 0
+
+
+class TestCullDepths:
+    def test_single_key_culls_to_one_byte(self):
+        assert cull_depths([b"hello"]) == [1]
+
+    def test_divergent_keys(self):
+        # "apple" vs "banana": diverge at byte 0 -> depth 1 each.
+        assert cull_depths([b"apple", b"banana"]) == [1, 1]
+
+    def test_shared_prefix(self):
+        # "sigmod" and "sigma": lcp 4 -> depth 5 each.
+        assert cull_depths([b"sigma", b"sigmod"]) == [5, 5]
+
+    def test_prefix_key_gets_terminator_depth(self):
+        # "ab" is a prefix of "abc": depth len+1 marks the terminator.
+        depths = cull_depths([b"ab", b"abc"])
+        assert depths[0] == 3  # len("ab") + 1 -> terminator leaf
+        assert depths[1] == 3
+
+    def test_middle_key_uses_max_neighbor_lcp(self):
+        depths = cull_depths([b"aa", b"ab", b"xy"])
+        assert depths == [2, 2, 1]
+
+
+class TestBuildCulledTrie:
+    def test_empty(self):
+        trie = build_culled_trie([])
+        assert trie.num_keys == 0
+        assert trie.levels == []
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(FilterBuildError):
+            build_culled_trie([b"b", b"a"])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(FilterBuildError):
+            build_culled_trie([b"a", b"a"])
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(FilterBuildError):
+            build_culled_trie([b"", b"a"])
+
+    def test_single_key_single_edge(self):
+        trie = build_culled_trie([b"hello"])
+        assert trie.num_edges == 1
+        assert trie.levels[0].labels == [ord("h") + 1]
+        assert trie.levels[0].has_child == [False]
+        assert trie.levels[0].leaf_key_ids == [0]
+
+    def test_leaf_count_equals_key_count(self):
+        keys = sorted({b"apple", b"apply", b"banana", b"band", b"bandit"})
+        trie = build_culled_trie(keys)
+        assert len(trie.leaf_key_ids_in_order()) == len(keys)
+
+    def test_terminator_edge_created(self):
+        trie = build_culled_trie([b"ab", b"abc"])
+        labels = [label for level in trie.levels for label in level.labels]
+        assert TERM_SYMBOL in labels
+
+    def test_terminator_sorts_first(self):
+        trie = build_culled_trie([b"ab", b"abc"])
+        # Node at depth 2 has edges [TERM, 'c'+1] in that order.
+        level = trie.levels[2]
+        assert level.labels == [TERM_SYMBOL, ord("c") + 1]
+        assert level.louds == [True, False]
+
+    def test_louds_marks_node_starts(self):
+        keys = sorted([b"aa", b"ab", b"ba", b"bb"])
+        trie = build_culled_trie(keys)
+        # Depth 0: one node (root) with edges a, b.
+        assert trie.levels[0].louds == [True, False]
+        # Depth 1: two nodes, each with two edges.
+        assert trie.levels[1].louds == [True, False, True, False]
+
+    def test_labels_sorted_within_node(self):
+        keys = sorted([bytes([b]) + b"x" for b in (9, 3, 200, 77)])
+        trie = build_culled_trie(keys)
+        labels = trie.levels[0].labels
+        assert labels == sorted(labels)
+
+    def test_chain_of_single_children(self):
+        # "aaaa" and "aaab" share 3 bytes: internal chain down to depth 4.
+        trie = build_culled_trie([b"aaaa", b"aaab"])
+        assert len(trie.levels) == 4
+        for depth in range(3):
+            assert trie.levels[depth].has_child == [True]
+        assert trie.levels[3].has_child == [False, False]
+
+    def test_leaf_ids_in_lexicographic_order_per_level(self):
+        keys = sorted([b"ca", b"cb", b"da"])
+        trie = build_culled_trie(keys)
+        assert trie.leaf_key_ids_in_order() == [2, 0, 1]
+        # 'd*' culls at depth 1 (leaf id 2); 'ca'/'cb' leaves at depth 2.
+
+
+@settings(max_examples=100)
+@given(
+    st.sets(
+        st.binary(min_size=1, max_size=6), min_size=1, max_size=30
+    )
+)
+def test_property_structure_invariants(key_set):
+    keys = sorted(key_set)
+    trie = build_culled_trie(keys)
+    # One leaf per key.
+    assert sorted(trie.leaf_key_ids_in_order()) == list(range(len(keys)))
+    # Edge/node bookkeeping: every level's louds marks at least one node,
+    # and leaf + internal edges partition the level.
+    for level in trie.levels:
+        if level.labels:
+            assert level.louds[0] is True
+        leaf_edges = sum(1 for flag in level.has_child if not flag)
+        assert leaf_edges == len(level.leaf_key_ids)
+    # Internal edges at depth d equal node count at depth d+1.
+    for depth in range(len(trie.levels) - 1):
+        internal = sum(trie.levels[depth].has_child)
+        assert internal == trie.levels[depth + 1].num_nodes

@@ -1,0 +1,86 @@
+"""Unit tests for SuRF's suffix storage and real-suffix extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.surf.surf import _SuffixStore, _real_suffix
+
+
+class TestSuffixStore:
+    def test_put_get_roundtrip(self):
+        store = _SuffixStore(suffix_bits=8, num_slots=10)
+        for slot in range(10):
+            store.put(slot, slot * 17 % 256)
+        for slot in range(10):
+            assert store.get(slot) == slot * 17 % 256
+
+    def test_non_byte_aligned_widths(self):
+        store = _SuffixStore(suffix_bits=5, num_slots=20)
+        values = [v % 32 for v in range(20)]
+        for slot, value in enumerate(values):
+            store.put(slot, value)
+        assert [store.get(slot) for slot in range(20)] == values
+
+    def test_zero_width(self):
+        store = _SuffixStore(suffix_bits=0, num_slots=5)
+        assert store.get(3) == 0
+        assert store.size_in_bits() == 0
+
+    def test_size_accounting(self):
+        assert _SuffixStore(suffix_bits=7, num_slots=100).size_in_bits() == 700
+
+    def test_serialization_roundtrip(self):
+        store = _SuffixStore(suffix_bits=11, num_slots=9)
+        for slot in range(9):
+            store.put(slot, (slot * 331) % (1 << 11))
+        restored = _SuffixStore.from_bytes(store.to_bytes())
+        assert restored.suffix_bits == 11
+        assert restored.num_slots == 9
+        for slot in range(9):
+            assert restored.get(slot) == store.get(slot)
+
+
+class TestRealSuffix:
+    def test_whole_byte_window(self):
+        assert _real_suffix(b"abcdef", depth=2, suffix_bits=8) == ord("c")
+
+    def test_two_byte_window(self):
+        expected = (ord("c") << 8) | ord("d")
+        assert _real_suffix(b"abcdef", depth=2, suffix_bits=16) == expected
+
+    def test_sub_byte_window_takes_msbs(self):
+        # 'c' = 0x63 = 0b01100011; top 4 bits = 0b0110 = 6.
+        assert _real_suffix(b"abc", depth=2, suffix_bits=4) == 6
+
+    def test_window_past_end_zero_padded(self):
+        assert _real_suffix(b"ab", depth=2, suffix_bits=8) == 0
+        assert _real_suffix(b"ab", depth=1, suffix_bits=16) == ord("b") << 8
+
+    def test_zero_bits(self):
+        assert _real_suffix(b"abc", depth=0, suffix_bits=0) == 0
+
+    @settings(max_examples=100)
+    @given(
+        key=st.binary(min_size=1, max_size=10),
+        depth=st.integers(min_value=0, max_value=12),
+        suffix_bits=st.integers(min_value=1, max_value=32),
+    )
+    def test_property_value_in_range(self, key, depth, suffix_bits):
+        value = _real_suffix(key, depth, suffix_bits)
+        assert 0 <= value < (1 << suffix_bits)
+
+    @settings(max_examples=100)
+    @given(
+        key=st.binary(min_size=2, max_size=10),
+        suffix_bits=st.integers(min_value=1, max_value=16),
+    )
+    def test_property_distinguishes_next_byte(self, key, suffix_bits):
+        """Keys differing in the byte right after `depth` must yield
+        different suffixes whenever the window covers >= 8 bits... or at
+        least whenever their leading window bits differ."""
+        depth = 0
+        other = bytes([key[0] ^ 0x80]) + key[1:]
+        a = _real_suffix(key, depth, suffix_bits)
+        b = _real_suffix(other, depth, suffix_bits)
+        assert a != b  # the flipped MSB is always inside the window

@@ -1,0 +1,257 @@
+"""Unit tests for SuRF: point/range queries, variants, budget fitting."""
+
+import random
+
+import pytest
+
+from repro.errors import FilterBuildError, FilterQueryError
+from repro.filters.surf.surf import SuRF, SurfFilter
+
+WORDS = sorted(
+    {
+        b"apple", b"application", b"apply", b"banana", b"band", b"bandana",
+        b"bandit", b"can", b"canal", b"candle", b"sigmod", b"sigma",
+        b"zebra",
+    }
+)
+
+
+class TestPointLookups:
+    def test_no_false_negatives(self):
+        surf = SuRF.build(WORDS, variant="real", suffix_bits=8)
+        assert all(surf.may_contain(w) for w in WORDS)
+
+    def test_no_false_negatives_all_variants(self):
+        for variant in ("base", "hash", "real"):
+            surf = SuRF.build(WORDS, variant=variant, suffix_bits=8)
+            assert all(surf.may_contain(w) for w in WORDS), variant
+
+    def test_base_variant_shares_prefix_false_positive(self):
+        surf = SuRF.build([b"sigmod"], variant="base")
+        # Single key culls to 1 byte: anything starting with 's' collides.
+        assert surf.may_contain(b"sunday")
+
+    def test_suffix_bits_reject_prefix_collision(self):
+        surf = SuRF.build([b"sigmod", b"apple"], variant="real", suffix_bits=8)
+        # "sunday" shares culled prefix 's' with "sigmod" but differs in the
+        # next byte ('u' vs 'i'), which the real suffix catches.
+        assert not surf.may_contain(b"sunday")
+
+    def test_hash_suffix_rejects_collision(self):
+        surf = SuRF.build([b"sigmod", b"apple"], variant="hash", suffix_bits=16)
+        assert not surf.may_contain(b"sunday")
+
+    def test_definitely_absent_divergent_key(self):
+        surf = SuRF.build(WORDS, variant="base")
+        assert not surf.may_contain(b"000_no_such_prefix")
+
+    def test_prefix_of_stored_key_not_present(self):
+        surf = SuRF.build(sorted([b"banana", b"band"]), variant="real",
+                          suffix_bits=8)
+        # "ban" is a strict prefix of stored keys, itself absent; the trie
+        # has internal path b-a-n with no terminator.
+        assert not surf.may_contain(b"ban")
+
+    def test_terminator_key_present(self):
+        surf = SuRF.build(sorted([b"ab", b"abc"]), variant="base")
+        assert surf.may_contain(b"ab")
+        assert surf.may_contain(b"abc")
+
+    def test_empty_filter(self):
+        surf = SuRF.build([], variant="base")
+        assert not surf.may_contain(b"x")
+        assert not surf.may_contain_range(b"a", b"z")
+
+
+class TestRangeLookups:
+    def test_occupied_range_positive(self):
+        surf = SuRF.build(WORDS, variant="real", suffix_bits=8)
+        assert surf.may_contain_range(b"band", b"candle")
+        assert surf.may_contain_range(b"a", b"b")
+        assert surf.may_contain_range(b"zebra", b"zzzz")
+
+    def test_empty_range_before_all_keys(self):
+        surf = SuRF.build(WORDS, variant="base")
+        assert not surf.may_contain_range(b"0", b"9")
+
+    def test_empty_range_after_all_keys(self):
+        surf = SuRF.build(WORDS, variant="base")
+        # No stored key starts with 0xff, so the trie can prove emptiness.
+        assert not surf.may_contain_range(b"\xff\x00", b"\xff\xff")
+
+    def test_culled_prefix_covers_extensions(self):
+        """The classic SuRF false positive: "zebra" culls to "z", whose
+        interval covers every "z*" query — this is by design, not a bug."""
+        surf = SuRF.build(WORDS, variant="base")
+        assert surf.may_contain_range(b"zz", b"zzzz")
+
+    def test_empty_gap_between_keys(self):
+        surf = SuRF.build(sorted([b"aaa", b"zzz"]), variant="base")
+        # Keys cull to 1 byte; [mmm, qqq] hits neither 'a' nor 'z' subtree.
+        assert not surf.may_contain_range(b"mmm", b"qqq")
+
+    def test_single_point_range(self):
+        surf = SuRF.build(WORDS, variant="real", suffix_bits=8)
+        assert surf.may_contain_range(b"sigmod", b"sigmod")
+
+    def test_invalid_range(self):
+        surf = SuRF.build(WORDS, variant="base")
+        with pytest.raises(FilterQueryError):
+            surf.may_contain_range(b"z", b"a")
+
+    def test_seek_returns_first_reachable_leaf(self):
+        surf = SuRF.build(sorted([b"banana", b"cherry"]), variant="base")
+        # "banana" culls to "b"; its interval [b, b\xff...] covers "bb".
+        leaf = surf.seek(b"bb")
+        assert leaf is not None
+        assert leaf.prefix_bytes() == b"b"
+        # Seeking past the "b" interval lands on "cherry"'s leaf.
+        leaf = surf.seek(b"c")
+        assert leaf is not None
+        assert leaf.prefix_bytes() == b"c"
+
+    def test_seek_past_everything(self):
+        surf = SuRF.build(sorted([b"apple"]), variant="base")
+        assert surf.seek(b"zzz") is None
+
+    def test_no_false_negative_ranges_exhaustive_small(self):
+        keys = sorted([b"ab", b"abc", b"ad", b"b", b"ba"])
+        surf = SuRF.build(keys, variant="real", suffix_bits=8)
+        for low in keys:
+            assert surf.may_contain_range(low, low + b"\xff")
+            assert surf.may_contain_range(low[:1], low)
+
+
+class TestIntegerAdapter:
+    @pytest.fixture
+    def keys(self, rng):
+        return rng.sample(range(1 << 32), 3000)
+
+    def test_no_false_negatives(self, keys):
+        filt = SurfFilter(key_bits=32, variant="real", suffix_bits=8)
+        filt.populate(keys)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_range_no_false_negatives(self, keys):
+        filt = SurfFilter(key_bits=32, variant="real", suffix_bits=8)
+        filt.populate(keys)
+        for key in keys[:300]:
+            assert filt.may_contain_range(max(0, key - 3), key + 3)
+
+    def test_empty_range_fpr_reasonable(self, keys, rng):
+        filt = SurfFilter(key_bits=32, variant="real", suffix_bits=8)
+        filt.populate(keys)
+        key_set = set(keys)
+        fp = trials = 0
+        while trials < 1000:
+            low = rng.randrange((1 << 32) - 32)
+            if any(k in key_set for k in range(low, low + 32)):
+                continue
+            trials += 1
+            fp += filt.may_contain_range(low, low + 31)
+        assert fp / trials < 0.5
+
+    def test_budget_fitting_tracks_target(self, keys):
+        for budget in (12, 22, 30):
+            filt = SurfFilter(key_bits=32, variant="real", bits_per_key=budget)
+            filt.populate(keys)
+            actual = filt.size_in_bits() / len(set(keys))
+            # Structure is the floor; above it, we land within ~1.5 bits.
+            floor = SurfFilter(key_bits=32, variant="base")
+            floor.populate(keys)
+            minimum = floor.size_in_bits() / len(set(keys))
+            assert actual >= minimum - 1e-9
+            if budget > minimum + 1:
+                assert actual == pytest.approx(budget, abs=1.5)
+
+    def test_budget_below_structure_uses_minimum(self, keys):
+        filt = SurfFilter(key_bits=32, variant="real", bits_per_key=2)
+        filt.populate(keys)
+        assert filt.suffix_bits == 0  # fell back to the structural minimum
+
+    def test_key_width_must_be_byte_aligned(self):
+        with pytest.raises(FilterBuildError):
+            SurfFilter(key_bits=31)
+
+    def test_out_of_domain_key(self, keys):
+        filt = SurfFilter(key_bits=32)
+        filt.populate(keys)
+        with pytest.raises(FilterQueryError):
+            filt.may_contain(1 << 33)
+
+    def test_double_populate(self, keys):
+        filt = SurfFilter(key_bits=32)
+        filt.populate(keys)
+        with pytest.raises(FilterBuildError):
+            filt.populate(keys)
+
+    def test_probe_counter(self, keys):
+        filt = SurfFilter(key_bits=32)
+        filt.populate(keys)
+        filt.reset_probe_count()
+        filt.may_contain(keys[0])
+        assert filt.probe_count() >= 1
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_answers(self):
+        surf = SuRF.build(WORDS, variant="real", suffix_bits=8)
+        restored = SuRF.from_bytes(surf.to_bytes())
+        assert restored.variant == "real"
+        assert restored.num_keys == surf.num_keys
+        probes = WORDS + [b"nope", b"sig", b"bananaz", b"zzzz"]
+        for probe in probes:
+            assert restored.may_contain(probe) == surf.may_contain(probe)
+        assert restored.may_contain_range(b"m", b"q") == surf.may_contain_range(
+            b"m", b"q"
+        )
+
+    def test_adapter_roundtrip(self, rng):
+        keys = rng.sample(range(1 << 32), 500)
+        filt = SurfFilter(key_bits=32, variant="hash", suffix_bits=8)
+        filt.populate(keys)
+        restored = SurfFilter.deserialize(filt.serialize())
+        for key in keys[:100]:
+            assert restored.may_contain(key)
+
+    def test_size_accounting_matches_parts(self):
+        surf = SuRF.build(WORDS, variant="real", suffix_bits=8)
+        assert surf.size_in_bits() == surf.structure_bits() + 8 * len(WORDS)
+
+
+class TestDenseLevels:
+    def test_forced_all_dense(self):
+        surf = SuRF.build(WORDS, variant="base", dense_levels=100)
+        assert all(surf.may_contain(w) for w in WORDS)
+        assert not surf.may_contain_range(b"0", b"9")
+
+    def test_forced_all_sparse(self):
+        surf = SuRF.build(WORDS, variant="base", dense_levels=0)
+        assert all(surf.may_contain(w) for w in WORDS)
+        assert not surf.may_contain_range(b"0", b"9")
+
+    def test_dense_and_sparse_answer_identically(self, rng):
+        keys = sorted({bytes([rng.randrange(97, 123) for _ in range(4)])
+                       for _ in range(300)})
+        all_dense = SuRF.build(keys, variant="base", dense_levels=100)
+        all_sparse = SuRF.build(keys, variant="base", dense_levels=0)
+        hybrid = SuRF.build(keys, variant="base", dense_levels=2)
+        for _ in range(500):
+            probe = bytes([rng.randrange(97, 123) for _ in range(4)])
+            expected = all_sparse.may_contain(probe)
+            assert all_dense.may_contain(probe) == expected
+            assert hybrid.may_contain(probe) == expected
+        for _ in range(200):
+            low = bytes([rng.randrange(97, 123) for _ in range(3)])
+            high = low + b"\xff"
+            expected = all_sparse.may_contain_range(low, high)
+            assert all_dense.may_contain_range(low, high) == expected
+            assert hybrid.may_contain_range(low, high) == expected
+
+    def test_invalid_variant(self):
+        with pytest.raises(FilterBuildError):
+            SuRF.build(WORDS, variant="bogus")
+
+    def test_invalid_suffix_bits(self):
+        with pytest.raises(FilterBuildError):
+            SuRF.build(WORDS, variant="real", suffix_bits=65)

@@ -1,0 +1,82 @@
+"""Property-based tests for SuRF against an exact oracle.
+
+SuRF's contract is one-sided like Rosetta's: it may only err by answering
+"maybe" for an empty range / absent key.  These properties check the
+no-false-negative direction exhaustively over random byte-string corpora,
+for every variant and encoding split.
+"""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.surf.surf import SuRF
+
+_corpora = st.sets(st.binary(min_size=1, max_size=5), min_size=1, max_size=40)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    corpus=_corpora,
+    variant=st.sampled_from(["base", "hash", "real"]),
+    probe=st.binary(min_size=1, max_size=6),
+)
+def test_point_no_false_negatives(corpus, variant, probe):
+    keys = sorted(corpus)
+    surf = SuRF.build(keys, variant=variant, suffix_bits=8)
+    if probe in corpus:
+        assert surf.may_contain(probe)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    corpus=_corpora,
+    variant=st.sampled_from(["base", "hash", "real"]),
+    low=st.binary(min_size=1, max_size=5),
+    high=st.binary(min_size=1, max_size=5),
+)
+def test_range_no_false_negatives(corpus, variant, low, high):
+    if low > high:
+        low, high = high, low
+    keys = sorted(corpus)
+    surf = SuRF.build(keys, variant=variant, suffix_bits=8)
+    idx = bisect.bisect_left(keys, low)
+    truly_nonempty = idx < len(keys) and keys[idx] <= high
+    if truly_nonempty:
+        assert surf.may_contain_range(low, high)
+
+
+@settings(max_examples=80, deadline=None)
+@given(corpus=_corpora, dense_levels=st.integers(min_value=0, max_value=8))
+def test_encoding_split_equivalence(corpus, dense_levels):
+    """Any dense/sparse split answers exactly like the all-sparse encoding."""
+    keys = sorted(corpus)
+    reference = SuRF.build(keys, variant="base", dense_levels=0)
+    candidate = SuRF.build(keys, variant="base", dense_levels=dense_levels)
+    probes = keys + [k + b"\x00" for k in keys] + [b"\x00", b"\xff\xff"]
+    for probe in probes:
+        assert candidate.may_contain(probe) == reference.may_contain(probe)
+    for low in probes[:10]:
+        assert candidate.may_contain_range(
+            low, low + b"\xff"
+        ) == reference.may_contain_range(low, low + b"\xff")
+
+
+@settings(max_examples=80, deadline=None)
+@given(corpus=_corpora, variant=st.sampled_from(["base", "hash", "real"]))
+def test_serialization_equivalence(corpus, variant):
+    keys = sorted(corpus)
+    surf = SuRF.build(keys, variant=variant, suffix_bits=6)
+    restored = SuRF.from_bytes(surf.to_bytes())
+    for probe in keys + [b"\x01", b"zz"]:
+        assert restored.may_contain(probe) == surf.may_contain(probe)
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpus=_corpora)
+def test_memory_grows_with_suffix_bits(corpus):
+    keys = sorted(corpus)
+    base = SuRF.build(keys, variant="base")
+    real = SuRF.build(keys, variant="real", suffix_bits=8)
+    assert real.size_in_bits() == base.size_in_bits() + 8 * len(keys)

@@ -1,0 +1,115 @@
+"""Focused tests for SuRF's seek (moveToKeyGreaterThan) machinery.
+
+Seek drives the range-emptiness answer, so its corner cases — deep
+backtracking, dense/sparse boundary crossings, terminator ordering,
+leftmost-leaf detours — get their own suite beyond the property tests.
+"""
+
+import pytest
+
+from repro.filters.surf.surf import SuRF
+
+
+class TestBacktracking:
+    def test_multi_level_backtrack(self):
+        # "aaaz" forces a descent three levels deep; seeking past it must
+        # climb back to the root and land on "b".
+        keys = sorted([b"aaaa", b"aaaz", b"b"])
+        surf = SuRF.build(keys, variant="base", dense_levels=0)
+        leaf = surf.seek(b"aab")
+        assert leaf is not None
+        assert leaf.prefix_bytes() == b"b"
+
+    def test_backtrack_to_none_past_last_key(self):
+        keys = sorted([b"aaaa", b"aaab"])
+        surf = SuRF.build(keys, variant="base", dense_levels=0)
+        assert surf.seek(b"aaac") is None
+        assert surf.seek(b"zzz") is None
+
+    def test_backtrack_across_dense_sparse_boundary(self):
+        # Force a dense top level; the backtrack from a sparse subtree must
+        # resume sibling search inside the dense region.
+        keys = sorted([b"aaaa", b"aaab", b"cccc"])
+        surf = SuRF.build(keys, variant="base", dense_levels=1)
+        leaf = surf.seek(b"aab")
+        assert leaf is not None
+        assert leaf.prefix_bytes() == b"c"
+
+    def test_seek_within_run_of_siblings(self):
+        keys = sorted([b"ka", b"kc", b"ke"])
+        surf = SuRF.build(keys, variant="base", dense_levels=0)
+        assert surf.seek(b"kb").prefix_bytes() == b"kc"
+        assert surf.seek(b"kd").prefix_bytes() == b"ke"
+        assert surf.seek(b"kf") is None
+
+
+class TestLeftmostDetours:
+    def test_detour_descends_to_smallest_leaf(self):
+        # Seeking "b" at the root must take the "c" edge and then the
+        # *smallest* path underneath it.
+        keys = sorted([b"a", b"cba", b"cbz", b"cz"])
+        surf = SuRF.build(keys, variant="base", dense_levels=0)
+        leaf = surf.seek(b"b")
+        assert leaf.prefix_bytes() == b"cba"
+
+    def test_detour_prefers_terminator(self):
+        # "cb" is a prefix key: its terminator leaf sorts before "cba".
+        keys = sorted([b"a", b"cb", b"cba"])
+        surf = SuRF.build(keys, variant="base", dense_levels=0)
+        leaf = surf.seek(b"b")
+        assert leaf.is_exact_key
+        assert leaf.prefix_bytes() == b"cb"
+
+
+class TestExhaustedQueries:
+    def test_query_shorter_than_paths(self):
+        # Seeking "a" (1 byte) in a trie whose keys extend beyond it: every
+        # extension is >= the query.
+        keys = sorted([b"apple", b"apricot"])
+        surf = SuRF.build(keys, variant="base", dense_levels=0)
+        leaf = surf.seek(b"a")
+        assert leaf is not None
+        assert leaf.prefix_bytes().startswith(b"ap")
+
+    def test_exhausted_exact_terminator(self):
+        keys = sorted([b"ab", b"abc"])
+        surf = SuRF.build(keys, variant="base", dense_levels=0)
+        leaf = surf.seek(b"ab")
+        assert leaf.is_exact_key  # the terminator: exactly "ab"
+
+    def test_value_indexes_unique_across_leaves(self):
+        keys = sorted([b"ab", b"abc", b"ax", b"b", b"ba"])
+        surf = SuRF.build(keys, variant="base", dense_levels=1)
+        seen = set()
+        for key in keys:
+            leaf = surf.seek(key)
+            assert leaf is not None
+            seen.add(leaf.value_index)
+        assert len(seen) == len(keys)
+
+
+class TestSeekOrderAgreesWithSortedKeys:
+    @staticmethod
+    def _next_probe(leaf) -> bytes:
+        """Smallest key past the leaf's represented interval."""
+        prefix = leaf.prefix_bytes()
+        if leaf.is_exact_key:
+            return prefix + b"\x00"  # any extension of the exact key
+        successor = int.from_bytes(prefix, "big") + 1
+        return successor.to_bytes(len(prefix), "big")
+
+    @pytest.mark.parametrize("dense_levels", [0, 1, 2, 100])
+    def test_iterating_seeks_visits_keys_in_order(self, dense_levels):
+        keys = sorted([b"al", b"alpha", b"be", b"beta", b"gamma", b"go"])
+        surf = SuRF.build(keys, variant="base", dense_levels=dense_levels)
+        visited = []
+        probe = b"\x00"
+        for _ in range(20):
+            leaf = surf.seek(probe)
+            if leaf is None:
+                break
+            visited.append(leaf.prefix_bytes())
+            probe = self._next_probe(leaf)
+        # Culled prefixes, in trie order, one per stored key.
+        assert len(visited) == len(keys)
+        assert visited == sorted(visited)

@@ -1,0 +1,100 @@
+"""Unit tests for the two-filters-per-run baseline (Bloom + SuRF)."""
+
+import random
+
+import pytest
+
+from repro.errors import FilterBuildError
+from repro.filters.base import deserialize_filter, serialize_envelope
+from repro.filters.combined import CombinedPointRangeFilter
+
+
+@pytest.fixture
+def keys(rng):
+    return rng.sample(range(1 << 32), 2000)
+
+
+class TestCombinedFilter:
+    def test_no_false_negatives(self, keys):
+        filt = CombinedPointRangeFilter(key_bits=32, bits_per_key=22)
+        filt.populate(keys)
+        for key in keys[:300]:
+            assert filt.may_contain(key)
+            assert filt.may_contain_range(key, key + 5)
+
+    def test_memory_is_sum_of_parts(self, keys):
+        filt = CombinedPointRangeFilter(key_bits=32, bits_per_key=24)
+        filt.populate(keys)
+        bloom, surf = filt._require()  # noqa: SLF001
+        assert filt.size_in_bits() == bloom.size_in_bits() + surf.size_in_bits()
+
+    def test_point_queries_served_by_bloom(self, keys, rng):
+        filt = CombinedPointRangeFilter(
+            key_bits=32, bits_per_key=22, point_fraction=0.5
+        )
+        filt.populate(keys)
+        key_set = set(keys)
+        fp = sum(
+            filt.may_contain(k)
+            for k in (rng.randrange(1 << 32) for _ in range(3000))
+            if k not in key_set
+        )
+        assert fp / 3000 < 0.05  # 11 bits/key Bloom quality
+
+    def test_point_budget_split_costs_fpr_vs_rosetta(self, keys, rng):
+        """The §1 tradeoff: splitting the budget degrades point FPR
+        relative to Rosetta, which serves points from the full budget's
+        bottom level."""
+        from repro.filters.rosetta_adapter import RosettaFilter
+
+        combined = CombinedPointRangeFilter(key_bits=32, bits_per_key=14)
+        combined.populate(keys)
+        rosetta = RosettaFilter(key_bits=32, bits_per_key=14, max_range=1,
+                                strategy="single")
+        rosetta.populate(keys)
+        key_set = set(keys)
+        probes = [
+            k for k in (rng.randrange(1 << 32) for _ in range(6000))
+            if k not in key_set
+        ]
+        combined_fp = sum(combined.may_contain(k) for k in probes)
+        rosetta_fp = sum(rosetta.may_contain(k) for k in probes)
+        assert rosetta_fp <= combined_fp
+
+    def test_single_point_range_routes_to_bloom(self, keys):
+        filt = CombinedPointRangeFilter(key_bits=32)
+        filt.populate(keys)
+        assert filt.may_contain_range(keys[0], keys[0])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(FilterBuildError):
+            CombinedPointRangeFilter(point_fraction=0.0)
+        with pytest.raises(FilterBuildError):
+            CombinedPointRangeFilter(point_fraction=1.0)
+
+    def test_double_populate(self, keys):
+        filt = CombinedPointRangeFilter(key_bits=32)
+        filt.populate(keys)
+        with pytest.raises(FilterBuildError):
+            filt.populate(keys)
+
+    def test_unpopulated_rejected(self):
+        with pytest.raises(FilterBuildError):
+            CombinedPointRangeFilter().may_contain(1)
+
+    def test_envelope_roundtrip(self, keys):
+        filt = CombinedPointRangeFilter(key_bits=32, bits_per_key=20)
+        filt.populate(keys)
+        restored = deserialize_filter(serialize_envelope(filt))
+        assert isinstance(restored, CombinedPointRangeFilter)
+        for key in keys[:100]:
+            assert restored.may_contain(key)
+            assert restored.may_contain_range(key, key + 3)
+
+    def test_probe_counters(self, keys):
+        filt = CombinedPointRangeFilter(key_bits=32)
+        filt.populate(keys)
+        filt.reset_probe_count()
+        filt.may_contain(keys[0])
+        filt.may_contain_range(keys[0], keys[0] + 10)
+        assert filt.probe_count() >= 2

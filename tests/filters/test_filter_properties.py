@@ -1,0 +1,86 @@
+"""Property-based no-false-negative tests across every point/range filter.
+
+Every filter in the library shares one contract: it may answer "maybe" for
+absent keys/empty ranges, but never "no" for present keys/occupied ranges.
+These suites drive the whole registry through hypothesis.
+"""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.factories import FILTER_NAMES, make_factory
+
+_KEY_BITS = 16
+_key_sets = st.sets(
+    st.integers(min_value=0, max_value=(1 << _KEY_BITS) - 1),
+    min_size=1,
+    max_size=50,
+)
+
+# Quotient needs > 4 bits/key; give every recipe a healthy budget.
+_POINT_FILTERS = ("bloom", "cuckoo", "quotient", "prefix-bloom")
+_RANGE_FILTERS = (
+    "rosetta", "rosetta-single", "rosetta-equilibrium", "surf", "surf-base",
+    "bloom+surf", "fence",
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=_key_sets,
+    name=st.sampled_from(_POINT_FILTERS + _RANGE_FILTERS),
+    probe=st.integers(min_value=0, max_value=(1 << _KEY_BITS) - 1),
+)
+def test_point_queries_never_false_negative(keys, name, probe):
+    factory = make_factory(name, _KEY_BITS, 14, max_range=16)
+    filt = factory.build(sorted(keys))
+    if probe in keys:
+        assert filt.may_contain(probe), name
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=_key_sets,
+    name=st.sampled_from(_RANGE_FILTERS + _POINT_FILTERS),
+    low=st.integers(min_value=0, max_value=(1 << _KEY_BITS) - 1),
+    size=st.integers(min_value=1, max_value=64),
+)
+def test_range_queries_never_false_negative(keys, name, low, size):
+    factory = make_factory(name, _KEY_BITS, 14, max_range=16)
+    filt = factory.build(sorted(keys))
+    high = min(low + size - 1, (1 << _KEY_BITS) - 1)
+    if low > high:
+        return
+    ordered = sorted(keys)
+    idx = bisect.bisect_left(ordered, low)
+    if idx < len(ordered) and ordered[idx] <= high:
+        assert filt.may_contain_range(low, high), name
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=_key_sets, name=st.sampled_from(FILTER_NAMES))
+def test_serialization_roundtrip_preserves_answers(keys, name):
+    from repro.filters.base import deserialize_filter, serialize_envelope
+
+    factory = make_factory(name, _KEY_BITS, 14, max_range=16)
+    filt = factory.build(sorted(keys))
+    restored = deserialize_filter(serialize_envelope(filt))
+    probes = list(keys)[:10] + [0, (1 << _KEY_BITS) - 1]
+    for probe in probes:
+        assert restored.may_contain(probe) == filt.may_contain(probe), name
+    for low in probes[:5]:
+        high = min(low + 7, (1 << _KEY_BITS) - 1)
+        assert restored.may_contain_range(low, high) == filt.may_contain_range(
+            low, high
+        ), name
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=_key_sets, name=st.sampled_from(FILTER_NAMES))
+def test_memory_accounting_positive(keys, name):
+    factory = make_factory(name, _KEY_BITS, 14, max_range=16)
+    filt = factory.build(sorted(keys))
+    assert filt.size_in_bits() >= 0
+    assert isinstance(filt.size_in_bits(), int)

@@ -1,0 +1,115 @@
+"""Unit tests for the Prefix Bloom filter baseline."""
+
+import random
+
+import pytest
+
+from repro.errors import FilterBuildError, FilterQueryError
+from repro.filters.prefix_bloom import PrefixBloomFilter
+
+
+@pytest.fixture
+def keys(rng):
+    return rng.sample(range(1 << 32), 2000)
+
+
+class TestBasics:
+    def test_no_false_negatives_points(self, keys):
+        filt = PrefixBloomFilter(key_bits=32, prefix_bits=16, bits_per_key=10)
+        filt.populate(keys)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_no_false_negatives_ranges(self, keys):
+        filt = PrefixBloomFilter(key_bits=32, prefix_bits=16, bits_per_key=10)
+        filt.populate(keys)
+        for key in keys[:200]:
+            assert filt.may_contain_range(max(0, key - 5), key + 5)
+
+    def test_point_probe_is_prefix_probe(self):
+        """Keys sharing a prefix are indistinguishable (the paper's point)."""
+        filt = PrefixBloomFilter(key_bits=16, prefix_bits=8, bits_per_key=20)
+        filt.populate([0x1234])
+        # 0x12FF shares the 8-bit prefix 0x12: necessarily positive.
+        assert filt.may_contain(0x12FF)
+
+    def test_range_within_single_empty_prefix(self):
+        filt = PrefixBloomFilter(key_bits=16, prefix_bits=8, bits_per_key=20)
+        filt.populate([0x1234])
+        # [0x4000, 0x4010] lies in prefix 0x40, which holds no key.
+        assert not filt.may_contain_range(0x4000, 0x4010)
+
+    def test_range_spanning_too_many_prefixes_passes(self):
+        filt = PrefixBloomFilter(
+            key_bits=16, prefix_bits=8, bits_per_key=20, max_covering_prefixes=4
+        )
+        filt.populate([0x1234])
+        # Spans 16 prefixes > cap: must conservatively pass.
+        assert filt.may_contain_range(0x4000, 0x4FFF)
+
+    def test_cross_prefix_range(self):
+        filt = PrefixBloomFilter(key_bits=16, prefix_bits=8, bits_per_key=20)
+        filt.populate([0x12FF])
+        # [0x12FE, 0x1301] touches prefixes 0x12 (occupied) and 0x13.
+        assert filt.may_contain_range(0x12FE, 0x1301)
+
+
+class TestAutoPrefixLength:
+    def test_density_aware_default(self, keys):
+        filt = PrefixBloomFilter(key_bits=32, bits_per_key=10)
+        filt.populate(keys)
+        # ceil(log2(2000)) + 2 = 13.
+        assert filt.prefix_bits == 13
+
+    def test_auto_clamps_to_key_bits(self):
+        filt = PrefixBloomFilter(key_bits=8, bits_per_key=10)
+        filt.populate(list(range(200)))
+        assert filt.prefix_bits == 8
+
+    def test_occupancy_regime(self, keys, rng):
+        """With ~4x buckets per key, empty short ranges see moderate FPR."""
+        filt = PrefixBloomFilter(key_bits=32, bits_per_key=10)
+        filt.populate(keys)
+        key_set = set(keys)
+        fp = trials = 0
+        while trials < 1000:
+            low = rng.randrange((1 << 32) - 16)
+            if any(k in key_set for k in range(low, low + 16)):
+                continue
+            trials += 1
+            fp += filt.may_contain_range(low, low + 15)
+        # Bucket occupancy ~ 2000/2^13 = 24%: FPR far from 0 and from 1.
+        assert 0.05 < fp / trials < 0.65
+
+
+class TestValidation:
+    def test_invalid_prefix_bits(self):
+        with pytest.raises(FilterBuildError):
+            PrefixBloomFilter(key_bits=16, prefix_bits=17)
+        with pytest.raises(FilterBuildError):
+            PrefixBloomFilter(key_bits=16, prefix_bits=0)
+
+    def test_invalid_range(self, keys):
+        filt = PrefixBloomFilter(key_bits=32, prefix_bits=16)
+        filt.populate(keys)
+        with pytest.raises(FilterQueryError):
+            filt.may_contain_range(10, 9)
+
+    def test_double_populate(self, keys):
+        filt = PrefixBloomFilter(key_bits=32, prefix_bits=16)
+        filt.populate(keys)
+        with pytest.raises(FilterBuildError):
+            filt.populate(keys)
+
+    def test_unpopulated_query(self):
+        with pytest.raises(FilterBuildError):
+            PrefixBloomFilter().may_contain(1)
+
+
+class TestSerialization:
+    def test_roundtrip(self, keys):
+        filt = PrefixBloomFilter(key_bits=32, prefix_bits=14, bits_per_key=12)
+        filt.populate(keys)
+        restored = PrefixBloomFilter.deserialize(filt.serialize())
+        assert restored.prefix_bits == 14
+        for key in keys[:200]:
+            assert restored.may_contain(key) == filt.may_contain(key)

@@ -1,0 +1,107 @@
+"""Unit tests for the quotient filter."""
+
+import random
+
+import pytest
+
+from repro.errors import FilterBuildError, FilterQueryError
+from repro.filters.quotient import QuotientFilter
+
+
+@pytest.fixture
+def keys(rng):
+    return rng.sample(range(1 << 40), 5000)
+
+
+class TestQuotientFilter:
+    def test_no_false_negatives(self, keys):
+        filt = QuotientFilter(key_bits=64, bits_per_key=12)
+        filt.populate(keys)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_point_fpr_tracks_remainder_width(self, keys, rng):
+        filt = QuotientFilter(key_bits=64, bits_per_key=14)
+        filt.populate(keys)
+        key_set = set(keys)
+        fp = sum(
+            filt.may_contain(k)
+            for k in (rng.randrange(1 << 40) for _ in range(8000))
+            if k not in key_set
+        )
+        # FPR ~ load / 2^r; at 14 bits/key r >= 9 -> well below 1%.
+        assert fp / 8000 < 0.05
+
+    def test_more_memory_lowers_fpr(self, keys, rng):
+        key_set = set(keys)
+        probes = [
+            k for k in (rng.randrange(1 << 40) for _ in range(8000))
+            if k not in key_set
+        ]
+        results = {}
+        for bits_per_key in (6, 16):
+            filt = QuotientFilter(key_bits=64, bits_per_key=bits_per_key)
+            filt.populate(keys)
+            results[bits_per_key] = sum(filt.may_contain(k) for k in probes)
+        assert results[16] <= results[6]
+
+    def test_clustered_keys_still_correct(self):
+        # Sequential keys produce heavy quotient collisions and long runs.
+        keys = list(range(4000))
+        filt = QuotientFilter(key_bits=32, bits_per_key=12)
+        filt.populate(keys)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_load_factor_near_target(self, keys):
+        filt = QuotientFilter(key_bits=64, bits_per_key=12)
+        filt.populate(keys)
+        assert 0.3 < filt.load_factor() < 0.85
+
+    def test_memory_tracks_budget(self, keys):
+        filt = QuotientFilter(key_bits=64, bits_per_key=12)
+        filt.populate(keys)
+        assert filt.size_in_bits() / len(set(keys)) == pytest.approx(12, rel=0.3)
+
+    def test_ranges_pass(self, keys):
+        filt = QuotientFilter(key_bits=64)
+        filt.populate(keys)
+        assert filt.may_contain_range(0, 100)
+        with pytest.raises(FilterQueryError):
+            filt.may_contain_range(2, 1)
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(FilterBuildError):
+            QuotientFilter(bits_per_key=3)
+
+    def test_double_populate_and_unpopulated(self, keys):
+        filt = QuotientFilter(key_bits=64)
+        filt.populate(keys)
+        with pytest.raises(FilterBuildError):
+            filt.populate(keys)
+        with pytest.raises(FilterBuildError):
+            QuotientFilter().may_contain(1)
+
+    def test_serialization_roundtrip(self, keys):
+        filt = QuotientFilter(key_bits=64, bits_per_key=12)
+        filt.populate(keys)
+        restored = QuotientFilter.deserialize(filt.serialize())
+        assert restored.quotient_bits == filt.quotient_bits
+        assert restored.remainder_bits == filt.remainder_bits
+        for key in keys[:300]:
+            assert restored.may_contain(key)
+        rng = random.Random(9)
+        for _ in range(300):
+            probe = rng.randrange(1 << 40)
+            assert restored.may_contain(probe) == filt.may_contain(probe)
+
+    def test_tiny_key_set(self):
+        filt = QuotientFilter(key_bits=16, bits_per_key=12)
+        filt.populate([7])
+        assert filt.may_contain(7)
+
+    def test_probe_counter(self, keys):
+        filt = QuotientFilter(key_bits=64)
+        filt.populate(keys)
+        filt.may_contain(keys[0])
+        assert filt.probe_count() == 1
+        filt.reset_probe_count()
+        assert filt.probe_count() == 0

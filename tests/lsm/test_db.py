@@ -1,0 +1,343 @@
+"""Integration tests for the DB: write path, reads, compaction, recovery."""
+
+import bisect
+import random
+
+import pytest
+
+from repro.bench.factories import make_factory
+from repro.errors import ClosedStoreError, FilterQueryError, StoreError
+from repro.lsm.db import DB
+from repro.lsm.options import DBOptions
+
+
+@pytest.fixture
+def db(tmp_path, small_db_options):
+    database = DB(str(tmp_path / "db"), small_db_options)
+    yield database
+    if not database._closed:  # noqa: SLF001
+        database.close()
+
+
+def _filtered_options(base: DBOptions) -> DBOptions:
+    base.filter_factory = make_factory("rosetta", base.key_bits, 18, max_range=64)
+    return base
+
+
+class TestPointOperations:
+    def test_put_get(self, db):
+        db.put(42, b"answer")
+        assert db.get(42) == b"answer"
+
+    def test_get_missing(self, db):
+        assert db.get(7) is None
+
+    def test_overwrite_in_memtable(self, db):
+        db.put(1, b"a")
+        db.put(1, b"b")
+        assert db.get(1) == b"b"
+
+    def test_overwrite_across_flush(self, db):
+        db.put(1, b"old")
+        db.flush()
+        db.put(1, b"new")
+        assert db.get(1) == b"new"
+        db.flush()
+        assert db.get(1) == b"new"
+
+    def test_delete_in_memtable(self, db):
+        db.put(5, b"v")
+        db.delete(5)
+        assert db.get(5) is None
+
+    def test_delete_shadows_flushed_value(self, db):
+        db.put(5, b"v")
+        db.flush()
+        db.delete(5)
+        assert db.get(5) is None
+        db.flush()
+        assert db.get(5) is None
+
+    def test_key_domain_enforced(self, db):
+        with pytest.raises(FilterQueryError):
+            db.put(1 << 33, b"too big")
+        with pytest.raises(FilterQueryError):
+            db.get(-1)
+
+
+class TestRangeQueries:
+    def test_basic_range(self, db):
+        for key in (10, 20, 30):
+            db.put(key, str(key).encode())
+        assert db.range_query(15, 30) == [(20, b"20"), (30, b"30")]
+
+    def test_empty_range(self, db):
+        db.put(10, b"x")
+        assert db.range_query(11, 20) == []
+
+    def test_range_spans_memtable_and_ssts(self, db):
+        db.put(1, b"flushed")
+        db.flush()
+        db.put(2, b"buffered")
+        assert db.range_query(0, 5) == [(1, b"flushed"), (2, b"buffered")]
+
+    def test_range_respects_tombstones(self, db):
+        for key in range(10):
+            db.put(key, b"v")
+        db.flush()
+        db.delete(5)
+        result = dict(db.range_query(0, 9))
+        assert 5 not in result
+        assert len(result) == 9
+
+    def test_range_newest_value_wins(self, db):
+        db.put(7, b"v1")
+        db.flush()
+        db.put(7, b"v2")
+        db.flush()
+        assert db.range_query(7, 7) == [(7, b"v2")]
+
+    def test_invalid_range(self, db):
+        with pytest.raises(FilterQueryError):
+            db.range_query(5, 4)
+
+    def test_large_workload_matches_oracle(self, tmp_path, small_db_options):
+        options = _filtered_options(small_db_options)
+        db = DB(str(tmp_path / "oracle-db"), options)
+        rng = random.Random(21)
+        model: dict[int, bytes] = {}
+        for i in range(4000):
+            key = rng.randrange(1 << 20)
+            value = f"v{i}".encode()
+            db.put(key, value)
+            model[key] = value
+        sorted_keys = sorted(model)
+        for _ in range(300):
+            low = rng.randrange(1 << 20)
+            high = low + rng.randrange(0, 64)
+            expected = []
+            idx = bisect.bisect_left(sorted_keys, low)
+            while idx < len(sorted_keys) and sorted_keys[idx] <= high:
+                expected.append((sorted_keys[idx], model[sorted_keys[idx]]))
+                idx += 1
+            assert db.range_query(low, high) == expected
+        db.close()
+
+
+class TestFlushAndCompaction:
+    def test_flush_creates_l0_file(self, db):
+        for key in range(100):
+            db.put(key, b"x" * 10)
+        db.flush()
+        assert len(db.version.level0) >= 1
+
+    def test_l0_trigger_compacts(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "trigger-db"), small_db_options)
+        # Push enough data through the write path to exceed the L0 trigger.
+        for i in range(6000):
+            db.put(i, b"payload-" + bytes(24))
+        db.flush()
+        assert len(db.version.level0) < small_db_options.level0_file_num_compaction_trigger
+        assert db.stats.compactions >= 1
+        db.close()
+
+    def test_compaction_preserves_data(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "preserve-db"), small_db_options)
+        items = {i: f"value-{i}".encode() for i in range(3000)}
+        for key, value in items.items():
+            db.put(key, value)
+        db.compact()
+        sample = random.Random(1).sample(sorted(items), 300)
+        for key in sample:
+            assert db.get(key) == items[key]
+        db.close()
+
+    def test_full_compaction_single_level(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "full-db"), small_db_options)
+        for i in range(3000):
+            db.put(i, bytes(16))
+        db.force_full_compaction()
+        assert db.version.level0 == []
+        populated = [lvl for lvl, runs in db.version.levels.items() if runs]
+        assert len(populated) == 1
+        assert db.get(1500) == bytes(16)
+        db.close()
+
+    def test_compaction_drops_tombstones_at_bottom(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "tombstone-db"), small_db_options)
+        for i in range(500):
+            db.put(i, bytes(8))
+        for i in range(0, 500, 2):
+            db.delete(i)
+        db.force_full_compaction()
+        total_entries = sum(
+            run.reader.meta.num_entries
+            for runs in db.version.levels.values()
+            for run in runs
+        )
+        assert total_entries == 250  # tombstones gone
+        assert db.get(0) is None
+        assert db.get(1) == bytes(8)
+        db.close()
+
+    def test_compaction_deletes_old_files(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "cleanup-db"), small_db_options)
+        for i in range(5000):
+            db.put(i, bytes(24))
+        db.force_full_compaction()
+        live = {run.name for runs in db.version.levels.values() for run in runs}
+        on_disk = {
+            name
+            for name in db._env.list_files()  # noqa: SLF001
+            if name.endswith(".sst")
+        }
+        assert on_disk == live
+        db.close()
+
+
+class TestIngest:
+    def test_ingest_bulk_load(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "ingest-db"), small_db_options)
+        items = [(i * 3, f"v{i}".encode()) for i in range(2000)]
+        db.ingest(items)
+        assert db.get(3) == b"v1"
+        assert db.get(4) is None
+        assert db.range_query(0, 9) == [(0, b"v0"), (3, b"v1"), (6, b"v2"), (9, b"v3")]
+        db.close()
+
+    def test_ingest_into_occupied_level_rejected(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "ingest2-db"), small_db_options)
+        db.ingest([(1, b"a")], level=1)
+        with pytest.raises(StoreError):
+            db.ingest([(2, b"b")], level=1)
+        db.close()
+
+    def test_ingest_then_writes_shadow(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "ingest3-db"), small_db_options)
+        db.ingest([(5, b"old")])
+        db.put(5, b"new")
+        assert db.get(5) == b"new"
+        db.flush()
+        assert db.get(5) == b"new"
+        db.close()
+
+
+class TestRecovery:
+    def test_reopen_recovers_ssts(self, tmp_path, small_db_options):
+        path = str(tmp_path / "reopen-db")
+        db = DB(path, small_db_options)
+        for i in range(2000):
+            db.put(i, f"v{i}".encode())
+        db.close()
+        db2 = DB(path, small_db_options)
+        assert db2.get(123) == b"v123"
+        assert db2.range_query(10, 12) == [
+            (10, b"v10"), (11, b"v11"), (12, b"v12"),
+        ]
+        db2.close()
+
+    def test_wal_replay_recovers_unflushed(self, tmp_path, small_db_options):
+        path = str(tmp_path / "wal-db")
+        db = DB(path, small_db_options)
+        db.put(1, b"one")
+        db.put(2, b"two")
+        db.delete(1)
+        # Simulate a crash: no close(), no flush.
+        db._env.close()  # noqa: SLF001
+        db2 = DB(path, small_db_options)
+        assert db2.get(1) is None
+        assert db2.get(2) == b"two"
+        db2.close()
+
+    def test_closed_db_rejects_operations(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "closed-db"), small_db_options)
+        db.close()
+        with pytest.raises(ClosedStoreError):
+            db.put(1, b"x")
+        with pytest.raises(ClosedStoreError):
+            db.get(1)
+        db.close()  # idempotent
+
+    def test_context_manager(self, tmp_path, small_db_options):
+        with DB(str(tmp_path / "ctx-db"), small_db_options) as db:
+            db.put(1, b"x")
+        with pytest.raises(ClosedStoreError):
+            db.get(1)
+
+
+class TestFilterIntegration:
+    def test_filters_prune_empty_point_queries(self, tmp_path, small_db_options):
+        options = _filtered_options(small_db_options)
+        db = DB(str(tmp_path / "filter-db"), options)
+        rng = random.Random(3)
+        keys = rng.sample(range(1 << 30), 3000)
+        for key in keys:
+            db.put(key, bytes(16))
+        db.flush()
+        key_set = set(keys)
+        # Absent keys inside the data's key span, so fence pointers cannot
+        # prune them and only the filters stand between query and I/O.
+        low, high = min(key_set) + 1, max(key_set)
+        absent = [
+            k for k in range(low, low + 500_000, 1009) if k not in key_set
+        ][:200]
+        before = db.stats.snapshot()
+        for key in absent:
+            assert db.get(key) is None
+        delta = db.stats.diff(before)
+        assert delta.filter_negatives > 0
+        # With filters, almost no data-block reads for absent keys.
+        assert delta.block_reads < len(absent)
+
+    def test_range_filter_verdicts_recorded(self, tmp_path, small_db_options):
+        options = _filtered_options(small_db_options)
+        db = DB(str(tmp_path / "verdict-db"), options)
+        for i in range(0, 3000, 3):
+            db.put(i, bytes(8))
+        db.flush()
+        db.range_query(1, 2)  # empty (multiples of 3 only)
+        db.range_query(0, 10)  # non-empty
+        stats = db.stats
+        assert stats.filter_probes > 0
+        assert stats.filter_true_positives > 0
+        assert stats.range_queries == 2
+        assert db.tracker.num_range_queries == 2
+
+    def test_stats_observed_fpr_consistent(self, tmp_path, small_db_options):
+        options = _filtered_options(small_db_options)
+        db = DB(str(tmp_path / "fpr-db"), options)
+        rng = random.Random(5)
+        keys = rng.sample(range(1 << 30), 2000)
+        for key in keys:
+            db.put(key, bytes(8))
+        db.flush()
+        key_set = set(keys)
+        trials = 0
+        while trials < 150:
+            low = rng.randrange((1 << 30) - 16)
+            if any(k in key_set for k in range(low, low + 16)):
+                continue
+            trials += 1
+            db.range_query(low, low + 15)
+        assert 0.0 <= db.stats.observed_fpr < 0.2
+        db.close()
+
+    def test_retune_filters_decision(self, tmp_path, small_db_options):
+        options = _filtered_options(small_db_options)
+        db = DB(str(tmp_path / "tune-db"), options)
+        for i in range(500):
+            db.put(i, bytes(8))
+        db.flush()
+        for _ in range(50):
+            db.range_query(1000, 1007)
+        decision = db.retune_filters()
+        assert decision.strategy == "single"
+        assert decision.max_range == 8
+        # New flushes use the tuned factory.
+        for i in range(500, 1000):
+            db.put(i, bytes(8))
+        db.flush()
+        newest = db.version.all_runs_newest_first()[0]
+        filt = db._filter_dictionary.get_filter(newest.reader, db.stats)  # noqa: SLF001
+        assert filt is not None
+        db.close()

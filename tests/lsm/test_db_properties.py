@@ -1,0 +1,117 @@
+"""Property-based test: the DB behaves exactly like a dict + sorted scan.
+
+Randomized operation sequences (put/delete/flush/compact) are replayed
+against a plain-dict model; every point and range read must agree.  This is
+the whole-store correctness oracle.
+"""
+
+import bisect
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.factories import make_factory
+from repro.lsm.db import DB
+from repro.lsm.options import DBOptions
+
+_operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            st.integers(min_value=0, max_value=4095),
+            st.binary(min_size=1, max_size=16),
+        ),
+        st.tuples(
+            st.just("delete"),
+            st.integers(min_value=0, max_value=4095),
+            st.just(b""),
+        ),
+        st.tuples(st.just("flush"), st.just(0), st.just(b"")),
+        st.tuples(st.just("compact"), st.just(0), st.just(b"")),
+    ),
+    max_size=60,
+)
+
+
+def _make_db(tmp_path_factory, name: str, with_filter: bool) -> DB:
+    options = DBOptions(
+        key_bits=16,
+        memtable_size_bytes=2048,
+        sst_size_bytes=4096,
+        max_bytes_for_level_base=16 << 10,
+        block_size_bytes=512,
+    )
+    if with_filter:
+        options.filter_factory = make_factory("rosetta", 16, 14, max_range=32)
+    return DB(str(tmp_path_factory / name), options)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(operations=_operations, with_filter=st.booleans())
+def test_db_matches_dict_model(tmp_path, operations, with_filter):
+    import uuid
+
+    db = _make_db(tmp_path, f"db-{uuid.uuid4().hex}", with_filter)
+    model: dict[int, bytes] = {}
+    try:
+        for op, key, value in operations:
+            if op == "put":
+                db.put(key, value)
+                model[key] = value
+            elif op == "delete":
+                db.delete(key)
+                model.pop(key, None)
+            elif op == "flush":
+                db.flush()
+            else:
+                db.compact()
+
+        # Point reads.
+        for key in list(model)[:30]:
+            assert db.get(key) == model[key]
+        for key in (0, 1, 4095, 2222):
+            assert db.get(key) == model.get(key)
+
+        # Range reads.
+        sorted_keys = sorted(model)
+        for low in (0, 100, 1000, 4000):
+            high = low + 128
+            expected = []
+            idx = bisect.bisect_left(sorted_keys, low)
+            while idx < len(sorted_keys) and sorted_keys[idx] <= high:
+                expected.append((sorted_keys[idx], model[sorted_keys[idx]]))
+                idx += 1
+            assert db.range_query(low, high) == expected
+    finally:
+        db.close()
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    keys=st.sets(st.integers(min_value=0, max_value=4095), min_size=1, max_size=200)
+)
+def test_reopen_preserves_model(tmp_path, keys):
+    import uuid
+
+    name = f"db-{uuid.uuid4().hex}"
+    db = _make_db(tmp_path, name, with_filter=True)
+    for key in keys:
+        db.put(key, key.to_bytes(2, "big"))
+    db.close()
+
+    db2 = _make_db(tmp_path, name, with_filter=True)
+    try:
+        for key in list(keys)[:50]:
+            assert db2.get(key) == key.to_bytes(2, "big")
+        assert [k for k, _ in db2.range_query(0, 4095)] == sorted(keys)
+    finally:
+        db2.close()

@@ -1,0 +1,128 @@
+"""Unit tests for the skip-list memtable."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.format import ValueTag
+from repro.lsm.memtable import MemTable
+
+
+class TestBasics:
+    def test_put_get(self):
+        table = MemTable()
+        table.put(b"key", b"value")
+        assert table.get(b"key") == (ValueTag.PUT, b"value")
+
+    def test_missing_key(self):
+        assert MemTable().get(b"nope") is None
+
+    def test_overwrite(self):
+        table = MemTable()
+        table.put(b"k", b"v1")
+        table.put(b"k", b"v2")
+        assert table.get(b"k") == (ValueTag.PUT, b"v2")
+        assert len(table) == 1
+
+    def test_delete_leaves_tombstone(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        table.delete(b"k")
+        assert table.get(b"k") == (ValueTag.DELETE, b"")
+
+    def test_delete_of_absent_key_records_tombstone(self):
+        table = MemTable()
+        table.delete(b"ghost")
+        assert table.get(b"ghost") == (ValueTag.DELETE, b"")
+        assert len(table) == 1
+
+    def test_empty_properties(self):
+        table = MemTable()
+        assert table.is_empty
+        assert len(table) == 0
+        assert table.min_key() is None
+        assert table.max_key() is None
+
+
+class TestOrdering:
+    def test_entries_sorted(self):
+        table = MemTable(seed=3)
+        keys = [bytes([b]) for b in (9, 1, 200, 73, 40)]
+        for key in keys:
+            table.put(key, b"")
+        assert [k for k, _, _ in table.entries()] == sorted(keys)
+
+    def test_entries_from_seeks(self):
+        table = MemTable()
+        for i in range(0, 100, 10):
+            table.put(f"{i:03d}".encode(), b"")
+        result = [k for k, _, _ in table.entries_from(b"045")]
+        assert result[0] == b"050"
+        assert len(result) == 5
+
+    def test_entries_from_exact_key(self):
+        table = MemTable()
+        table.put(b"b", b"")
+        table.put(b"d", b"")
+        assert [k for k, _, _ in table.entries_from(b"b")] == [b"b", b"d"]
+
+    def test_min_max(self):
+        table = MemTable()
+        for key in (b"m", b"a", b"z", b"q"):
+            table.put(key, b"")
+        assert table.min_key() == b"a"
+        assert table.max_key() == b"z"
+
+    def test_large_insert_stays_sorted(self):
+        table = MemTable(seed=1)
+        rng = random.Random(2)
+        keys = [rng.randrange(10**9).to_bytes(8, "big") for _ in range(5000)]
+        for key in keys:
+            table.put(key, b"x")
+        ordered = [k for k, _, _ in table.entries()]
+        assert ordered == sorted(set(keys))
+
+
+class TestAccounting:
+    def test_bytes_grow_with_inserts(self):
+        table = MemTable()
+        table.put(b"k" * 10, b"v" * 100)
+        first = table.approximate_bytes
+        table.put(b"j" * 10, b"w" * 100)
+        assert table.approximate_bytes > first
+
+    def test_overwrite_adjusts_bytes(self):
+        table = MemTable()
+        table.put(b"k", b"v" * 100)
+        before = table.approximate_bytes
+        table.put(b"k", b"v")
+        assert table.approximate_bytes == before - 99
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.binary(min_size=1, max_size=6),
+            st.binary(max_size=10),
+        ),
+        max_size=80,
+    )
+)
+def test_property_matches_dict_model(operations):
+    """The memtable behaves like a dict of (tag, value)."""
+    table = MemTable()
+    model: dict[bytes, tuple[int, bytes]] = {}
+    for op, key, value in operations:
+        if op == "put":
+            table.put(key, value)
+            model[key] = (ValueTag.PUT, value)
+        else:
+            table.delete(key)
+            model[key] = (ValueTag.DELETE, b"")
+    assert len(table) == len(model)
+    for key, expected in model.items():
+        assert table.get(key) == expected
+    assert [k for k, _, _ in table.entries()] == sorted(model)

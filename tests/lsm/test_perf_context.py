@@ -1,0 +1,89 @@
+"""Tests for per-query performance contexts (db.last_query)."""
+
+import pytest
+
+from repro.bench.factories import make_factory
+from repro.lsm.db import DB
+from repro.lsm.options import DBOptions
+
+
+@pytest.fixture
+def db(tmp_path, small_db_options):
+    small_db_options.filter_factory = make_factory(
+        "rosetta", 32, 16, max_range=32
+    )
+    database = DB(str(tmp_path / "ctx"), small_db_options)
+    for i in range(3000):
+        database.put(i * 7, f"v{i}".encode())
+    database.flush()
+    yield database
+    database.close()
+
+
+class TestPointContext:
+    def test_present_key(self, db):
+        assert db.get(7) == b"v1"
+        ctx = db.last_query
+        assert ctx.kind == "point"
+        assert ctx.low == 7
+        assert ctx.results == 1
+        assert ctx.runs_considered >= 1
+        assert "point(7)" in ctx.summary()
+
+    def test_memtable_hit_short_circuits(self, db):
+        db.put(999_999, b"fresh")
+        db.get(999_999)
+        ctx = db.last_query
+        assert ctx.memtable_hit
+        assert ctx.runs_considered == 0
+        assert ctx.blocks_read == 0
+
+    def test_filtered_absent_key_reads_nothing(self, db):
+        db.get(8)  # absent, inside the key span
+        ctx = db.last_query
+        assert ctx.results == 0
+        assert ctx.filters_probed >= 1
+        if ctx.filter_negatives == ctx.filters_probed:
+            assert ctx.iterators_created == 0
+
+    def test_out_of_span_key_considers_no_runs(self, db):
+        db.get((1 << 32) - 1)
+        assert db.last_query.runs_considered == 0
+
+
+class TestRangeContext:
+    def test_occupied_range(self, db):
+        results = db.range_query(0, 70)
+        ctx = db.last_query
+        assert ctx.kind == "range"
+        assert ctx.results == len(results) == 11
+        assert ctx.iterators_created >= 1
+
+    def test_filtered_empty_range_creates_no_iterators(self, db):
+        db.range_query(1, 6)  # between multiples of 7, definitely empty
+        ctx = db.last_query
+        assert ctx.results == 0
+        if ctx.filter_negatives == ctx.filters_probed and ctx.filters_probed:
+            assert ctx.iterators_created == 0
+            assert ctx.blocks_read == 0
+
+    def test_runs_pruned_property(self, db):
+        db.range_query(1, 6)
+        ctx = db.last_query
+        assert ctx.runs_pruned_by_filters == ctx.filter_negatives
+
+    def test_context_replaced_per_query(self, db):
+        db.range_query(0, 10)
+        first = db.last_query
+        db.get(7)
+        assert db.last_query is not first
+        assert db.last_query.kind == "point"
+
+    def test_iterator_count_tracks_positive_runs(self, db):
+        """§4: one child iterator per positive run (plus the memtable)."""
+        db.put(50_000_000, b"live-memtable")
+        db.range_query(0, 70)
+        ctx = db.last_query
+        positives = ctx.filters_probed - ctx.filter_negatives
+        no_filter_runs = ctx.runs_considered - ctx.filters_probed
+        assert ctx.iterators_created == positives + no_filter_runs + 1

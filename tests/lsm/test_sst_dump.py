@@ -1,0 +1,96 @@
+"""Tests for the SST inspection tool."""
+
+import os
+
+import pytest
+
+from repro.bench.factories import make_factory
+from repro.lsm.db import DB
+from repro.lsm.options import DBOptions
+from repro.lsm.sst_dump import dump_sst, summarize_sst
+
+
+@pytest.fixture
+def store(tmp_path):
+    options = DBOptions(
+        key_bits=32,
+        memtable_size_bytes=16 << 10,
+        sst_size_bytes=64 << 10,
+        block_size_bytes=1024,
+        filter_factory=make_factory("rosetta", 32, 16, max_range=32),
+    )
+    path = str(tmp_path / "dumpdb")
+    db = DB(path, options)
+    for i in range(2000):
+        db.put(i * 3, bytes(20))
+    db.delete(0)
+    db.flush()
+    name = db.version.all_runs_newest_first()[-1].name
+    db.close()
+    return path, name, options
+
+
+class TestSummarize:
+    def test_counts(self, store):
+        path, name, options = store
+        summary = summarize_sst(path, name, options)
+        assert summary.num_entries > 0
+        assert summary.num_data_blocks == len(summary.block_entry_counts)
+        assert sum(summary.block_entry_counts) == summary.num_entries
+        assert summary.file_size == os.path.getsize(os.path.join(path, name))
+
+    def test_filter_identified(self, store):
+        path, name, options = store
+        summary = summarize_sst(path, name, options)
+        assert summary.filter_kind == "rosetta"
+        assert summary.filter_bytes > 0
+        assert summary.filter_bits_per_key > 8
+
+    def test_key_span_ordered(self, store):
+        path, name, options = store
+        summary = summarize_sst(path, name, options)
+        assert summary.min_key <= summary.max_key
+
+    def test_metadata_overhead_sane(self, store):
+        path, name, options = store
+        summary = summarize_sst(path, name, options)
+        assert 0.0 < summary.metadata_overhead < 0.9
+
+    def test_no_filter_store(self, tmp_path):
+        options = DBOptions(key_bits=32, memtable_size_bytes=8 << 10,
+                            block_size_bytes=1024)
+        path = str(tmp_path / "nofilter")
+        db = DB(path, options)
+        for i in range(300):
+            db.put(i, bytes(8))
+        db.flush()
+        name = db.version.all_runs_newest_first()[0].name
+        db.close()
+        summary = summarize_sst(path, name, options)
+        assert summary.filter_kind == "none"
+        assert summary.filter_bytes == 0
+
+
+class TestDump:
+    def test_report_mentions_key_facts(self, store):
+        path, name, options = store
+        report = dump_sst(path, name, options)
+        assert name in report
+        assert "rosetta" in report
+        assert "data blocks" in report
+        assert "tombstones" in report
+
+    def test_show_entries(self, store):
+        path, name, options = store
+        report = dump_sst(path, name, options, show_entries=5)
+        assert report.count("PUT ") + report.count("DEL ") == 5
+        assert "..." in report
+
+    def test_tombstone_rendered(self, store):
+        path, name, options = store
+        # Key 0's tombstone lives in the newest L0 run; dump that one.
+        db = DB(path, options)
+        newest = db.version.all_runs_newest_first()[0].name
+        db.close()
+        report = dump_sst(path, newest, options, show_entries=3)
+        assert "DEL" in report

@@ -1,0 +1,184 @@
+"""Tests for tiered compaction, the scan iterator, and multi_get."""
+
+import random
+
+import pytest
+
+from repro.bench.factories import make_factory
+from repro.errors import InvalidOptionsError
+from repro.lsm.db import DB
+from repro.lsm.options import DBOptions
+
+
+def _tiered_options(**overrides) -> DBOptions:
+    options = DBOptions(
+        key_bits=32,
+        memtable_size_bytes=4 << 10,
+        sst_size_bytes=16 << 10,
+        max_bytes_for_level_base=64 << 10,
+        block_size_bytes=1024,
+        level_size_ratio=3,
+        compaction_style="tiered",
+    )
+    for field, value in overrides.items():
+        setattr(options, field, value)
+    return options
+
+
+class TestTieredCompaction:
+    def test_style_validated(self):
+        with pytest.raises(InvalidOptionsError):
+            DBOptions(compaction_style="lazy").validate()
+        DBOptions(compaction_style="tiered").validate()
+
+    def test_multiple_groups_accumulate(self, tmp_path):
+        db = DB(str(tmp_path / "tiered"), _tiered_options())
+        for i in range(2000):
+            db.put(i, bytes(16))
+        db.flush()
+        # Tiered never merges into existing groups; groups accumulate at a
+        # level until the ratio trigger cascades them down.
+        total_groups = sum(
+            db.version.num_groups(level) for level in range(1, 7)
+        )
+        assert total_groups >= 1
+        assert db.get(100) == bytes(16)
+        db.close()
+
+    def test_reads_correct_across_groups(self, tmp_path):
+        db = DB(str(tmp_path / "tiered-reads"), _tiered_options())
+        rng = random.Random(7)
+        model = {}
+        for i in range(6000):
+            key = rng.randrange(1 << 16)
+            value = f"v{i}".encode()
+            db.put(key, value)
+            model[key] = value
+        sample = rng.sample(sorted(model), 400)
+        for key in sample:
+            assert db.get(key) == model[key], key
+        db.close()
+
+    def test_newest_group_shadows_older(self, tmp_path):
+        db = DB(str(tmp_path / "tiered-shadow"), _tiered_options())
+        # Fill enough to push a group containing key 1 to L1.
+        db.put(1, b"old")
+        for i in range(2000):
+            db.put(10_000 + i, bytes(16))
+        db.compact()
+        db.put(1, b"new")
+        db.compact()  # second group, newer, also holds key 1
+        assert db.get(1) == b"new"
+        assert db.range_query(1, 1) == [(1, b"new")]
+        db.close()
+
+    def test_tombstones_survive_until_bottom(self, tmp_path):
+        db = DB(str(tmp_path / "tiered-del"), _tiered_options())
+        db.put(42, b"v")
+        db.compact()  # group 1 at L1 holds the put
+        db.delete(42)
+        db.compact()  # group 2 at L1 holds the tombstone
+        assert db.get(42) is None
+        assert db.range_query(40, 44) == []
+        db.close()
+
+    def test_range_queries_match_model(self, tmp_path):
+        import bisect
+
+        options = _tiered_options()
+        options.filter_factory = make_factory("rosetta", 32, 16, max_range=64)
+        db = DB(str(tmp_path / "tiered-range"), options)
+        rng = random.Random(8)
+        model = {}
+        for i in range(4000):
+            key = rng.randrange(1 << 18)
+            model[key] = f"x{i}".encode()
+            db.put(key, model[key])
+        sorted_keys = sorted(model)
+        for _ in range(150):
+            low = rng.randrange(1 << 18)
+            high = low + rng.randrange(0, 64)
+            expected = []
+            idx = bisect.bisect_left(sorted_keys, low)
+            while idx < len(sorted_keys) and sorted_keys[idx] <= high:
+                expected.append((sorted_keys[idx], model[sorted_keys[idx]]))
+                idx += 1
+            assert db.range_query(low, high) == expected
+        db.close()
+
+    def test_level_merges_down_at_ratio(self, tmp_path):
+        db = DB(str(tmp_path / "tiered-cascade"), _tiered_options())
+        for batch in range(8):
+            for i in range(800):
+                db.put(batch * 100_000 + i, bytes(16))
+            db.compact()
+        # With ratio 3, L1 must have spilled into L2 at least once.
+        assert db.version.num_groups(2) >= 1
+        assert db.version.num_groups(1) < 3 + 1
+        db.close()
+
+    def test_recovery_preserves_groups(self, tmp_path):
+        path = str(tmp_path / "tiered-recover")
+        db = DB(path, _tiered_options())
+        db.put(1, b"old")
+        db.compact()
+        db.put(1, b"new")
+        db.compact()
+        groups_before = db.version.num_groups(1)
+        db.close()
+        db2 = DB(path, _tiered_options())
+        assert db2.version.num_groups(1) == groups_before
+        assert db2.get(1) == b"new"
+        db2.close()
+
+    def test_write_amplification_lower_than_leveled(self, tmp_path):
+        """The point of tiering: less compaction I/O for the same inserts."""
+        payload = bytes(24)
+        results = {}
+        for style in ("leveled", "tiered"):
+            options = _tiered_options(compaction_style=style)
+            db = DB(str(tmp_path / f"wa-{style}"), options)
+            for i in range(8000):
+                db.put(i, payload)
+            db.flush()
+            results[style] = db.stats.compaction_bytes_written
+            db.close()
+        assert results["tiered"] <= results["leveled"]
+
+
+class TestIteratorAndMultiGet:
+    @pytest.fixture
+    def loaded_db(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "scan"), small_db_options)
+        for i in range(0, 3000, 3):
+            db.put(i, str(i).encode())
+        db.flush()
+        db.put(1500, b"overwritten")  # in-memtable shadow
+        db.delete(3)
+        yield db
+        db.close()
+
+    def test_full_scan_ordered(self, loaded_db):
+        scanned = list(loaded_db.iterator())
+        keys = [k for k, _ in scanned]
+        assert keys == sorted(keys)
+        assert len(keys) == 999  # 1000 puts, one deleted
+
+    def test_scan_sees_memtable_shadow(self, loaded_db):
+        result = dict(loaded_db.iterator(start=1500, end=1500))
+        assert result == {1500: b"overwritten"}
+
+    def test_scan_excludes_tombstones(self, loaded_db):
+        assert 3 not in dict(loaded_db.iterator(end=10))
+
+    def test_bounded_scan(self, loaded_db):
+        scanned = list(loaded_db.iterator(start=30, end=60))
+        assert [k for k, _ in scanned] == [30, 33, 36, 39, 42, 45, 48, 51,
+                                           54, 57, 60]
+
+    def test_scan_start_beyond_data(self, loaded_db):
+        assert list(loaded_db.iterator(start=10**6)) == []
+
+    def test_multi_get(self, loaded_db):
+        result = loaded_db.multi_get([0, 3, 6, 7])
+        assert result == {0: b"0", 3: None, 6: b"6", 7: None}

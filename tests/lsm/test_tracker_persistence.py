@@ -1,0 +1,62 @@
+"""Tests for workload-statistics persistence across store restarts."""
+
+import pytest
+
+from repro.core.tuning import WorkloadTracker
+from repro.lsm.db import DB
+
+
+class TestTrackerSerialization:
+    def test_roundtrip(self):
+        tracker = WorkloadTracker()
+        tracker.record_range_query(8)
+        tracker.record_range_query(8)
+        tracker.record_range_query(64)
+        tracker.record_point_query()
+        tracker.record_filter_outcome(True, False)
+        tracker.record_filter_outcome(False, False)
+        restored = WorkloadTracker.from_dict(tracker.to_dict())
+        assert restored.range_size_histogram == {8: 2, 64: 1}
+        assert restored.num_point_queries == 1
+        assert restored.observed_false_positive_rate == pytest.approx(0.5)
+
+    def test_empty_roundtrip(self):
+        restored = WorkloadTracker.from_dict(WorkloadTracker().to_dict())
+        assert restored.num_range_queries == 0
+
+    def test_from_partial_dict(self):
+        restored = WorkloadTracker.from_dict({"point_queries": 3})
+        assert restored.num_point_queries == 3
+        assert restored.range_size_histogram == {}
+
+
+class TestStorePersistence:
+    def test_statistics_survive_restart(self, tmp_path, small_db_options):
+        path = str(tmp_path / "stats-db")
+        db = DB(path, small_db_options)
+        for i in range(100):
+            db.put(i, bytes(8))
+        for _ in range(25):
+            db.range_query(5000, 5007)
+        db.get(9999)
+        db.close()
+
+        db2 = DB(path, small_db_options)
+        assert db2.tracker.range_size_histogram == {8: 25}
+        assert db2.tracker.num_point_queries == 1
+        db2.close()
+
+    def test_restored_statistics_drive_tuning(self, tmp_path, small_db_options):
+        """A fresh process can retune from the previous session's workload."""
+        path = str(tmp_path / "tune-across-restart")
+        db = DB(path, small_db_options)
+        db.put(1, b"x")
+        for _ in range(50):
+            db.range_query(100, 103)  # size-4 ranges dominate
+        db.close()
+
+        db2 = DB(path, small_db_options)
+        decision = db2.retune_filters()
+        assert decision.strategy == "single"
+        assert decision.max_range == 4
+        db2.close()

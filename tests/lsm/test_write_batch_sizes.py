@@ -1,0 +1,133 @@
+"""Tests for WriteBatch atomicity and approximate_size estimation."""
+
+import os
+
+import pytest
+
+from repro.errors import StoreError
+from repro.lsm.db import DB
+from repro.lsm.format import ValueTag
+from repro.lsm.write_batch import WriteBatch
+
+
+class TestWriteBatchEncoding:
+    def test_roundtrip(self):
+        batch = WriteBatch()
+        batch.put(b"key-a", b"value-a")
+        batch.delete(b"key-b")
+        batch.put(b"key-c", b"")
+        decoded = WriteBatch.decode(batch.encode())
+        assert list(decoded) == [
+            (ValueTag.PUT, b"key-a", b"value-a"),
+            (ValueTag.DELETE, b"key-b", b""),
+            (ValueTag.PUT, b"key-c", b""),
+        ]
+
+    def test_empty_roundtrip(self):
+        assert len(WriteBatch.decode(WriteBatch().encode())) == 0
+
+    def test_chaining_and_clear(self):
+        batch = WriteBatch().put(b"a", b"1").delete(b"b")
+        assert len(batch) == 2
+        batch.clear()
+        assert len(batch) == 0
+
+    def test_approximate_bytes(self):
+        batch = WriteBatch().put(b"ab", b"cdef")
+        assert batch.approximate_bytes == 7
+
+    def test_corrupt_payload_rejected(self):
+        with pytest.raises(StoreError):
+            WriteBatch.decode(b"\x05\x00\x00\x00\x01")
+
+
+class TestBatchWrites:
+    def test_batch_applies_in_order(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "b"), small_db_options)
+        batch = db.batch()
+        batch.put_int(1, b"first").put_int(1, b"second").delete_int(2)
+        db.write(batch)
+        assert db.get(1) == b"second"
+        assert db.get(2) is None
+        assert db.stats.writes == 3
+        db.close()
+
+    def test_empty_batch_is_noop(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "b"), small_db_options)
+        db.write(db.batch())
+        assert db.stats.writes == 0
+        db.close()
+
+    def test_batch_survives_crash_whole(self, tmp_path, small_db_options):
+        path = str(tmp_path / "b")
+        db = DB(path, small_db_options)
+        batch = db.batch().put_int(10, b"x").put_int(11, b"y").delete_int(10)
+        db.write(batch)
+        db._env.close()  # noqa: SLF001 - simulate crash, no flush
+        db2 = DB(path, small_db_options)
+        assert db2.get(10) is None
+        assert db2.get(11) == b"y"
+        db2.close()
+
+    def test_torn_batch_drops_entirely(self, tmp_path, small_db_options):
+        path = str(tmp_path / "b")
+        db = DB(path, small_db_options)
+        db.put(1, b"before")  # separate, intact frame
+        db.write(db.batch().put_int(2, b"in-batch").put_int(3, b"also"))
+        db._env.close()  # noqa: SLF001
+        wal = f"{path}/wal.log"
+        with open(wal, "r+b") as handle:
+            handle.truncate(os.path.getsize(wal) - 2)  # tear the batch frame
+        db2 = DB(path, small_db_options)
+        assert db2.get(1) == b"before"
+        assert db2.get(2) is None  # all-or-nothing
+        assert db2.get(3) is None
+        db2.close()
+
+    def test_large_batch_triggers_flush(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "b"), small_db_options)
+        batch = db.batch()
+        for i in range(2000):
+            batch.put_int(i, bytes(16))
+        db.write(batch)
+        assert db.num_live_files() >= 1
+        assert db.get(1999) == bytes(16)
+        db.close()
+
+
+class TestApproximateSize:
+    @pytest.fixture
+    def loaded(self, tmp_path, small_db_options):
+        db = DB(str(tmp_path / "sz"), small_db_options)
+        for i in range(5000):
+            db.put(i, bytes(32))
+        db.flush()
+        yield db
+        db.close()
+
+    def test_whole_keyspace_covers_all_files(self, loaded):
+        total_files = sum(
+            run.file_size
+            for run in loaded.version.all_runs_newest_first()
+        )
+        estimate = loaded.approximate_size(0, (1 << 32) - 1)
+        assert 0 < estimate <= total_files
+
+    def test_small_range_much_smaller_than_total(self, loaded):
+        whole = loaded.approximate_size(0, (1 << 32) - 1)
+        small = loaded.approximate_size(100, 130)
+        assert 0 < small < whole / 4
+
+    def test_empty_region_is_zero(self, loaded):
+        assert loaded.approximate_size(1 << 30, (1 << 30) + 1000) == 0
+
+    def test_monotone_in_range_width(self, loaded):
+        narrow = loaded.approximate_size(1000, 1100)
+        wide = loaded.approximate_size(1000, 4000)
+        assert wide >= narrow
+
+    def test_invalid_range(self, loaded):
+        from repro.errors import FilterQueryError
+
+        with pytest.raises(FilterQueryError):
+            loaded.approximate_size(5, 4)

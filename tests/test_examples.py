@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs end to end (at reduced size).
+
+Examples are the documentation users actually execute; these tests keep
+them from rotting.  ``REPRO_EXAMPLE_KEYS`` shrinks the datasets so the
+whole module stays fast.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = [
+    "quickstart.py",
+    "lsm_store.py",
+    "adaptive_tuning.py",
+    "string_filtering.py",
+    "ycsb_mixed_workload.py",
+]
+
+_EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_KEYS"] = "1200"
+    env["REPRO_EXAMPLE_QUERIES"] = "40"
+    result = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_complete():
+    """Every example on disk is covered by this smoke suite."""
+    on_disk = sorted(
+        name for name in os.listdir(_EXAMPLES_DIR) if name.endswith(".py")
+    )
+    assert on_disk == sorted(_EXAMPLES)

@@ -1,0 +1,152 @@
+"""Cross-module integration tests: the full paper pipeline in miniature.
+
+Each test exercises a complete slice of the system the way the paper's
+evaluation does — generate a dataset, load the store, run a workload,
+check the end-to-end claim — rather than any single module.
+"""
+
+import pytest
+
+from repro.bench.endtoend import run_workload, scratch_db
+from repro.bench.factories import make_factory
+from repro.bench.harness import measure_filter
+from repro.lsm.options import DBOptions
+from repro.workloads.correlation import correlated_range_queries
+from repro.workloads.keygen import generate_dataset
+from repro.workloads.strings import StringKeyCodec, generate_wex_titles
+from repro.workloads.ycsb import WorkloadBuilder
+
+KEY_BITS = 64
+NUM_KEYS = 3000
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(NUM_KEYS, KEY_BITS, seed=100, value_size=32)
+
+
+@pytest.fixture(scope="module")
+def keys(dataset):
+    return [int(k) for k in dataset.keys]
+
+
+def _options() -> DBOptions:
+    return DBOptions(
+        key_bits=KEY_BITS,
+        memtable_size_bytes=16 << 10,
+        sst_size_bytes=64 << 10,
+        max_bytes_for_level_base=256 << 10,
+        block_size_bytes=1024,
+        device="ssd-scaled",
+    )
+
+
+class TestHeadlineClaims:
+    """The paper's abstract, condensed into assertions."""
+
+    def test_rosetta_beats_surf_on_short_empty_ranges(self, dataset, keys):
+        """Fig. 5(A): lower FPR and less I/O for short ranges at 22 b/key."""
+        workload = WorkloadBuilder(keys, KEY_BITS, seed=1).empty_range_queries(
+            120, 16
+        )
+        results = {}
+        for name in ("rosetta", "surf"):
+            factory = make_factory(
+                name, KEY_BITS, 22, max_range=64, range_size_histogram={16: 1}
+            )
+            with scratch_db(dataset, factory, _options()) as db:
+                results[name] = run_workload(db, workload)
+        assert results["rosetta"].fpr <= results["surf"].fpr
+        assert results["rosetta"].io_seconds <= results["surf"].io_seconds
+
+    def test_rosetta_beats_default_rocksdb_baselines(self, dataset, keys):
+        """Fig. 5(D): fence-only and prefix-Bloom stores pay far more I/O."""
+        workload = WorkloadBuilder(keys, KEY_BITS, seed=2).empty_range_queries(
+            100, 8
+        )
+        io = {}
+        for name in ("rosetta", "prefix-bloom", "fence"):
+            factory = (
+                None if name == "fence"
+                else make_factory(name, KEY_BITS, 22, max_range=64,
+                                  range_size_histogram={8: 1})
+            )
+            with scratch_db(dataset, factory, _options()) as db:
+                io[name] = run_workload(db, workload).io_seconds
+        assert io["rosetta"] < io["prefix-bloom"] <= io["fence"] * 1.05
+        assert io["fence"] / max(io["rosetta"], 1e-9) > 5  # "up to 40x"
+
+    def test_correlated_workload_hurts_surf_not_rosetta(self, keys):
+        """Fig. 5(B): θ=1 correlation pushes SuRF's FPR toward 1."""
+        workload = correlated_range_queries(
+            keys, KEY_BITS, 150, 16, theta=1, seed=3
+        )
+        fpr = {}
+        for name in ("rosetta", "surf"):
+            factory = make_factory(
+                name, KEY_BITS, 22, max_range=64, range_size_histogram={16: 1}
+            )
+            m = measure_filter(factory.build, keys, workload, name=name)
+            fpr[name] = m.fpr
+        assert fpr["surf"] > 0.5
+        assert fpr["rosetta"] < fpr["surf"] / 2
+
+    def test_point_queries_not_hurt(self, keys):
+        """Fig. 7: Rosetta's point FPR matches a plain Bloom filter."""
+        workload = WorkloadBuilder(keys, KEY_BITS, seed=4).empty_point_queries(
+            800
+        )
+        fpr = {}
+        for name in ("rosetta", "bloom", "surf-hash"):
+            factory = make_factory(
+                name, KEY_BITS, 14, max_range=1, range_size_histogram={1: 1}
+            )
+            fpr[name] = measure_filter(factory.build, keys, workload).fpr
+        assert fpr["rosetta"] <= fpr["bloom"] + 0.02
+
+    def test_strings_supported_below_surf_floor(self):
+        """Fig. 10: Rosetta accepts budgets below SuRF's structural cost."""
+        titles = generate_wex_titles(800, seed=5)
+        codec = StringKeyCodec(key_bits=96)
+        keys, _ = codec.encode_all(titles)
+        keys = sorted(set(keys))
+        rosetta = make_factory("rosetta", 96, 8, max_range=128).build(keys)
+        surf = make_factory("surf", 96, 8).build(keys)
+        assert rosetta.size_in_bits() / len(keys) == pytest.approx(8, abs=0.5)
+        assert surf.size_in_bits() / len(keys) > 10  # cannot meet the budget
+
+
+class TestAdaptivityPipeline:
+    def test_track_retune_compact_improves_fpr(self, dataset, keys):
+        """§2.4 end to end: observe workload -> retune -> rebuild -> better."""
+        workload = WorkloadBuilder(keys, KEY_BITS, seed=6).empty_range_queries(
+            150, 4
+        )
+        generic = make_factory("rosetta-optimized", KEY_BITS, 14, max_range=1024)
+        with scratch_db(dataset, generic, _options()) as db:
+            before = run_workload(db, workload)
+            decision = db.retune_filters()
+            assert decision.strategy == "single"
+            db.force_full_compaction()
+            after = run_workload(db, workload)
+        assert after.fpr <= before.fpr
+
+    def test_serialization_survives_store_restart(self, tmp_path, dataset):
+        """Filters written into SSTs answer identically after reopen."""
+        from repro.bench.endtoend import load_database
+        from repro.lsm.db import DB
+
+        options = _options()
+        factory = make_factory("rosetta", KEY_BITS, 16, max_range=64)
+        path = str(tmp_path / "restart")
+        db = load_database(path, dataset, factory, options)
+        probe_keys = [int(k) for k in dataset.keys[:50]]
+        db.close()
+
+        options2 = _options()
+        options2.filter_factory = factory
+        db2 = DB(path, options2)
+        for key in probe_keys:
+            assert db2.get(key) is not None
+        assert db2.stats.filter_negatives == 0  # no false negatives possible
+        db2.close()

@@ -1,0 +1,89 @@
+"""Package-level tests: exports, error hierarchy, version metadata."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    def test_version_present(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_all_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.filters",
+            "repro.filters.surf",
+            "repro.lsm",
+            "repro.workloads",
+            "repro.bench",
+        ],
+    )
+    def test_subpackage_all_importable(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert getattr(module, name) is not None, f"{module_name}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.FilterBuildError, errors.FilterError)
+        assert issubclass(errors.CorruptionError, errors.SerializationError)
+        assert issubclass(errors.ClosedStoreError, errors.StoreError)
+        assert issubclass(errors.InvalidOptionsError, errors.StoreError)
+
+    def test_one_catch_covers_everything(self):
+        """API-boundary contract: `except ReproError` is sufficient."""
+        from repro.core.rosetta import Rosetta
+
+        with pytest.raises(errors.ReproError):
+            Rosetta.build([1], key_bits=4, bits_per_key=10, max_range=0)
+        with pytest.raises(errors.ReproError):
+            Rosetta.build([999], key_bits=4, bits_per_key=10)
+
+
+class TestPublicDocstrings:
+    @pytest.mark.parametrize(
+        "obj_path",
+        [
+            "repro.core.rosetta.Rosetta",
+            "repro.core.rosetta.Rosetta.build",
+            "repro.core.rosetta.Rosetta.may_contain_range",
+            "repro.core.allocation.allocate",
+            "repro.filters.surf.surf.SuRF",
+            "repro.lsm.db.DB",
+            "repro.lsm.db.DB.range_query",
+            "repro.workloads.ycsb.WorkloadBuilder",
+            "repro.bench.experiments.fig5_endtoend",
+        ],
+    )
+    def test_key_apis_documented(self, obj_path):
+        import importlib
+
+        module_name, _, attr_chain = obj_path.partition(".")
+        parts = obj_path.split(".")
+        # Walk down from the longest importable module prefix.
+        for split in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:split]))
+                remainder = parts[split:]
+                break
+            except ImportError:
+                continue
+        for attr in remainder:
+            obj = getattr(obj, attr)
+        assert obj.__doc__ and len(obj.__doc__.strip()) > 20, obj_path

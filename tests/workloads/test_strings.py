@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic WEX string corpus and the string codec."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.strings import (
+    StringKeyCodec,
+    generate_wex_titles,
+    string_to_int_key,
+)
+
+
+class TestWexTitles:
+    def test_count_distinct_sorted(self):
+        titles = generate_wex_titles(500, seed=1)
+        assert len(titles) == 500
+        assert len(set(titles)) == 500
+        assert titles == sorted(titles)
+
+    def test_deterministic(self):
+        assert generate_wex_titles(100, seed=2) == generate_wex_titles(100, seed=2)
+
+    def test_variable_lengths(self):
+        titles = generate_wex_titles(500, seed=3)
+        lengths = {len(t) for t in titles}
+        assert len(lengths) > 5  # genuinely variable
+
+    def test_shared_prefix_structure(self):
+        """Titles must share prefixes heavily (the property Fig. 10 needs)."""
+        titles = generate_wex_titles(2000, seed=4)
+        shared = sum(
+            1
+            for a, b in zip(titles, titles[1:])
+            if len(a) >= 4 and a[:4] == b[:4]
+        )
+        assert shared / len(titles) > 0.2
+
+    def test_namespace_prefixes_appear(self):
+        titles = generate_wex_titles(2000, seed=5)
+        assert any(t.startswith(b"Category:") for t in titles)
+
+    def test_invalid_count(self):
+        with pytest.raises(WorkloadError):
+            generate_wex_titles(0)
+
+
+class TestStringCodec:
+    def test_order_preserved(self):
+        titles = generate_wex_titles(300, seed=6)
+        encoded = [string_to_int_key(t, 96) for t in titles]
+        assert encoded == sorted(encoded)
+
+    def test_short_strings_zero_padded(self):
+        assert string_to_int_key(b"a", 16) == ord("a") << 8
+
+    def test_long_strings_truncated(self):
+        long_key = string_to_int_key(b"abcdefghij", 32)
+        assert long_key == int.from_bytes(b"abcd", "big")
+
+    def test_byte_alignment_required(self):
+        with pytest.raises(WorkloadError):
+            string_to_int_key(b"x", 12)
+        with pytest.raises(WorkloadError):
+            StringKeyCodec(key_bits=10)
+
+    def test_collision_reporting(self):
+        codec = StringKeyCodec(key_bits=16)  # 2 bytes: heavy truncation
+        keys, collisions = codec.encode_all([b"abcd", b"abce", b"axxx"])
+        assert collisions == 1  # "abcd"/"abce" truncate to "ab"
+        assert len(keys) == 3
+
+    def test_wide_codec_no_collisions_on_corpus(self):
+        titles = generate_wex_titles(500, seed=7)
+        codec = StringKeyCodec(key_bits=128)
+        _, collisions = codec.encode_all(titles)
+        # Titles sharing a >16-byte prefix collide; that tail is small.
+        assert collisions <= len(titles) * 0.10
