@@ -1,0 +1,168 @@
+"""Throughput of the frontier engine vs the scalar recursive doubting path.
+
+The tentpole number for the vectorized engine: resolve a 10k-query batch of
+64-key ranges against a multi-level Rosetta with
+
+* the pre-engine reference (`may_contain_range_recursive`, one Python
+  recursion and one scalar Bloom probe per prefix),
+* the frontier engine in exact-accounting mode (``dedup=False`` — same
+  probe counts as the recursion, bulk execution),
+* the frontier engine with positional dedup (``dedup=True`` — the fast
+  default).
+
+Results (throughputs, speedups, verdict agreement) go to
+``BENCH_batch_range.json`` at the repo root.  The engine must clear a 5x
+speedup over the scalar loop in its default mode.
+
+Runs standalone (``python benchmarks/bench_batch_range.py [--smoke]``) and
+as a pytest test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.rosetta import Rosetta
+from repro.workloads.keygen import generate_dataset
+from repro.workloads.ycsb import WorkloadBuilder
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch_range.json"
+
+SPEEDUP_FLOOR = 5.0
+
+
+def run_benchmark(
+    num_keys: int = 50_000,
+    num_queries: int = 10_000,
+    max_range: int = 64,
+    key_bits: int = 64,
+    bits_per_key: float = 22.0,
+    seed: int = 411,
+) -> dict:
+    """Build the filter, run all three paths, return the result record."""
+    dataset = generate_dataset(num_keys, key_bits, seed=seed)
+    keys = [int(k) for k in dataset.keys]
+    rosetta = Rosetta.build(
+        keys,
+        key_bits=key_bits,
+        bits_per_key=bits_per_key,
+        max_range=max_range,
+        strategy="optimized",
+    )
+    workload = WorkloadBuilder(keys, key_bits, seed=seed + 1).empty_range_queries(
+        num_queries, max_range
+    )
+    lows = [q.low for q in workload]
+    highs = [q.high for q in workload]
+
+    rosetta.stats.reset()
+    start = time.perf_counter()
+    scalar = [rosetta.may_contain_range_recursive(lo, hi) for lo, hi in zip(lows, highs)]
+    scalar_seconds = time.perf_counter() - start
+    scalar_probes = rosetta.stats.bloom_probes
+
+    rosetta.stats.reset()
+    start = time.perf_counter()
+    exact = rosetta.may_contain_range_batch(lows, highs, dedup=False)
+    exact_seconds = time.perf_counter() - start
+    exact_probes = rosetta.stats.bloom_probes
+
+    rosetta.stats.reset()
+    start = time.perf_counter()
+    deduped = rosetta.may_contain_range_batch(lows, highs)
+    dedup_seconds = time.perf_counter() - start
+    dedup_probes = rosetta.stats.bloom_probes
+    bulk_calls = rosetta.stats.bulk_probe_calls
+
+    answers_agree = bool(
+        np.array_equal(np.asarray(scalar, dtype=bool), exact)
+        and np.array_equal(exact, deduped)
+    )
+    record = {
+        "num_keys": num_keys,
+        "num_queries": num_queries,
+        "max_range": max_range,
+        "bits_per_key": bits_per_key,
+        "num_levels": rosetta.num_levels,
+        "positives": int(np.count_nonzero(deduped)),
+        "answers_agree": answers_agree,
+        "probe_counts_match_recursive": exact_probes == scalar_probes,
+        "scalar": {
+            "seconds": scalar_seconds,
+            "queries_per_second": num_queries / scalar_seconds,
+            "bloom_probes": scalar_probes,
+        },
+        "batch_exact": {
+            "seconds": exact_seconds,
+            "queries_per_second": num_queries / exact_seconds,
+            "bloom_probes": exact_probes,
+            "speedup_vs_scalar": scalar_seconds / exact_seconds,
+        },
+        "batch_dedup": {
+            "seconds": dedup_seconds,
+            "queries_per_second": num_queries / dedup_seconds,
+            "bloom_probes": dedup_probes,
+            "bulk_probe_calls": bulk_calls,
+            "speedup_vs_scalar": scalar_seconds / dedup_seconds,
+        },
+    }
+    return record
+
+
+def _emit(record: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    dedup = record["batch_dedup"]
+    exact = record["batch_exact"]
+    print(
+        f"{record['num_queries']} queries x {record['max_range']}-key ranges, "
+        f"{record['num_levels']} levels\n"
+        f"  scalar recursive : {record['scalar']['queries_per_second']:>10.0f} q/s\n"
+        f"  batch (exact)    : {exact['queries_per_second']:>10.0f} q/s "
+        f"({exact['speedup_vs_scalar']:.1f}x)\n"
+        f"  batch (dedup)    : {dedup['queries_per_second']:>10.0f} q/s "
+        f"({dedup['speedup_vs_scalar']:.1f}x)\n"
+        f"  answers agree: {record['answers_agree']}, "
+        f"exact probe counts match: {record['probe_counts_match_recursive']}\n"
+        f"  -> {RESULT_PATH}"
+    )
+
+
+def test_batch_range_speedup():
+    """The acceptance gate: >=5x at 10k queries, answers identical."""
+    record = run_benchmark()
+    _emit(record)
+    assert record["answers_agree"]
+    assert record["probe_counts_match_recursive"]
+    assert record["batch_dedup"]["speedup_vs_scalar"] >= SPEEDUP_FLOOR
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes for CI: verifies agreement, skips the 5x gate",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        record = run_benchmark(num_keys=4000, num_queries=500)
+    else:
+        record = run_benchmark()
+    _emit(record)
+    if not record["answers_agree"] or not record["probe_counts_match_recursive"]:
+        print("FAIL: engine disagrees with the recursive reference", file=sys.stderr)
+        return 1
+    if not args.smoke and record["batch_dedup"]["speedup_vs_scalar"] < SPEEDUP_FLOOR:
+        print(f"FAIL: speedup below {SPEEDUP_FLOOR}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -135,6 +135,9 @@ def test_benchmark_empty_range_query(benchmark, scale):
             1, 16
         ).queries[0]
         benchmark(db.range_query, query.low, query.high)
+        # The seek path must have gone through the multi-run frontier
+        # sweep, not per-run scalar probes.
+        assert db.stats.filter_batch_probes > 0
         db.close()
     finally:
         shutil.rmtree(path, ignore_errors=True)

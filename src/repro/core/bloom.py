@@ -38,7 +38,29 @@ _H2_STAGE = splitmix64(_SEED2 ^ 0x2545F4914F6CDD1D)
 
 _LN2 = math.log(2.0)
 
-__all__ = ["BloomFilter", "optimal_num_hashes", "bits_for_fpr", "fpr_for_bits"]
+__all__ = [
+    "BloomFilter",
+    "base_hash_arrays",
+    "optimal_num_hashes",
+    "bits_for_fpr",
+    "fpr_for_bits",
+]
+
+
+def base_hash_arrays(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The two 64-bit base hashes of each value, vectorized.
+
+    Every :class:`BloomFilter` derives its ``k`` probe positions from the
+    same two seeded splitmix64 stages, so these hashes are *filter
+    independent*: a batch engine probing many filters (one per LSM run) can
+    evaluate them once per distinct prefix and reuse them against every
+    filter via :meth:`BloomFilter.survivors_hashed`.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    return (
+        splitmix64_array(values ^ np.uint64(_H1_STAGE)),
+        splitmix64_array(values ^ np.uint64(_H2_STAGE)),
+    )
 
 
 def optimal_num_hashes(bits_per_key: float) -> int:
@@ -157,6 +179,12 @@ class BloomFilter:
             return 1.0
         return self._bits.fill_ratio() ** self._num_hashes
 
+    def fill_ratio(self) -> float:
+        """Actual fraction of set bits (popcount ratio; 0.0 when bit-less)."""
+        if self.is_always_positive:
+            return 0.0
+        return self._bits.fill_ratio()
+
     # ------------------------------------------------------------------
     # Hashing
     # ------------------------------------------------------------------
@@ -221,6 +249,44 @@ class BloomFilter:
         indexes = bloom_indexes_array(h1, h2, self._num_hashes, self.num_bits)
         hits = self._bits.test_many(indexes.ravel()).reshape(indexes.shape)
         return hits.all(axis=1)
+
+    def survivor_indexes(self, values: np.ndarray) -> np.ndarray:
+        """Indexes of the values that may be present (vectorized fast path).
+
+        Equivalent to ``np.nonzero(self.may_contain_many_ints(values))[0]``
+        but cheaper on mostly-negative batches: the candidate set is narrowed
+        after every hash round, so later hash rounds only touch survivors of
+        the earlier ones (most items die on the first bit test at typical
+        fill ratios).
+        """
+        h1, h2 = base_hash_arrays(np.asarray(values, dtype=np.uint64))
+        return self.survivors_hashed(h1, h2)
+
+    def survivors_hashed(self, h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+        """Survivor indexes for items given by precomputed base hashes.
+
+        ``h1``/``h2`` are the :func:`base_hash_arrays` outputs; the probe
+        recurrence matches :func:`~repro.core.hashing.double_hash_indexes`
+        bit for bit, so verdicts agree with :meth:`may_contain` exactly.
+        """
+        count = len(h1)
+        if self.is_always_positive:
+            return np.arange(count, dtype=np.int64)
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        alive = np.arange(count, dtype=np.int64)
+        pos = h1.astype(np.uint64, copy=True)
+        step = h2 | np.uint64(1)
+        num_bits = np.uint64(self.num_bits)
+        with np.errstate(over="ignore"):
+            for probe in range(self._num_hashes):
+                hits = self._bits.test_many(pos % num_bits)
+                alive = alive[hits]
+                if probe == self._num_hashes - 1 or len(alive) == 0:
+                    break
+                pos = pos[hits] + step[hits]
+                step = step[hits]
+        return alive
 
     # ------------------------------------------------------------------
     # Combination

@@ -30,9 +30,10 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core import dyadic
+from repro.core import doubting, dyadic
 from repro.core.allocation import LevelAllocation, allocate
 from repro.core.bloom import BloomFilter, optimal_num_hashes
+from repro.core.doubting import FrontierResult
 from repro.errors import FilterBuildError, FilterQueryError, SerializationError
 
 __all__ = ["Rosetta", "ProbeStats"]
@@ -51,6 +52,8 @@ class ProbeStats:
     dyadic_intervals: int = 0
     range_queries: int = 0
     point_queries: int = 0
+    #: Vectorized bulk-probe invocations issued by the frontier engine.
+    bulk_probe_calls: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -58,6 +61,7 @@ class ProbeStats:
         self.dyadic_intervals = 0
         self.range_queries = 0
         self.point_queries = 0
+        self.bulk_probe_calls = 0
 
 
 class Rosetta:
@@ -242,6 +246,16 @@ class Rosetta:
         return self._num_keys
 
     @property
+    def levels(self) -> tuple[BloomFilter, ...]:
+        """The Bloom-filter stack, leaf level (height 0) first.
+
+        This is the shape :mod:`repro.core.doubting` consumes; exposing it
+        lets the LSM read path doubt one range against several runs' stacks
+        in a single frontier sweep.
+        """
+        return tuple(self._filters)
+
+    @property
     def allocation(self) -> LevelAllocation:
         """The memory allocation this filter was built with."""
         return self._allocation
@@ -268,25 +282,27 @@ class Rosetta:
         """Human-readable per-level summary (introspection/debugging aid).
 
         One line per Bloom-filter level: prefix length, memory, hash count,
-        items indexed, fill ratio, and the estimated raw FPR.
+        items indexed, the *actual* bit-array fill ratio (popcount), the
+        FPR-derived fill estimate, and the estimated raw FPR.
         """
         lines = [
             f"Rosetta: {self._num_keys} keys over a 2^{self._key_bits} domain, "
             f"{self.num_levels} levels, strategy={self._allocation.strategy!r}, "
             f"{self.bits_per_key():.2f} bits/key",
             f"{'height':>6}  {'prefix_bits':>11}  {'bits':>10}  {'k':>2}  "
-            f"{'items':>9}  {'fill':>6}  {'est_fpr':>9}",
+            f"{'items':>9}  {'fill':>6}  {'est_fill':>8}  {'est_fpr':>9}",
         ]
         for height, filt in enumerate(self._filters):
             if filt.is_always_positive:
-                fill, fpr = "-", "1 (empty)"
+                fill, est_fill, fpr = "-", "-", "1 (empty)"
             else:
-                fill = f"{filt.expected_fpr() ** (1 / filt.num_hashes):.3f}"
+                fill = f"{filt.fill_ratio():.3f}"
+                est_fill = f"{filt.expected_fpr() ** (1 / filt.num_hashes):.3f}"
                 fpr = f"{filt.expected_fpr():.3e}"
             lines.append(
                 f"{height:>6}  {self._key_bits - height:>11}  "
                 f"{filt.size_in_bits():>10}  {filt.num_hashes:>2}  "
-                f"{filt.num_items:>9}  {fill:>6}  {fpr:>9}"
+                f"{filt.num_items:>9}  {fill:>6}  {est_fill:>8}  {fpr:>9}"
             )
         return "\n".join(lines)
 
@@ -327,56 +343,69 @@ class Rosetta:
             self.stats.bloom_probes += len(keys)
         return leaf.may_contain_many_ints(keys)
 
-    def may_contain_range_batch(self, lows, highs) -> np.ndarray:
+    def may_contain_range_batch(
+        self,
+        lows,
+        highs,
+        *,
+        probe_budget: int | None = None,
+        dedup: bool = True,
+    ) -> np.ndarray:
         """Vectorized range lookups: one boolean per (low, high) pair.
 
-        Single-level instances (``num_levels == 1``, the §2.4 design) probe
-        every key of every range with one NumPy bulk operation; multi-level
-        instances fall back to per-query doubting.  Agrees with
-        :meth:`may_contain_range` query-for-query.
+        All queries are resolved by the frontier engine
+        (:mod:`repro.core.doubting`) in one level-synchronous sweep: at each
+        height the surviving prefixes of *every* query are probed with one
+        bulk Bloom operation, and a prefix shared by several queries is
+        hashed and probed once (``dedup=True``, the default).  Work is
+        chunked so oversized ranges — including the single-level §2.4 design,
+        where every key of the range is probed — never materialize huge
+        arrays, with an early exit as soon as a query turns positive.
+
+        ``dedup=False`` switches probe accounting (and ``probe_budget``
+        semantics) to match the sequential recursion exactly, query by
+        query; a ``probe_budget`` forces that mode.  Verdicts agree with
+        :meth:`may_contain_range` query-for-query in both modes.
         """
         lows = [int(v) for v in lows]
         highs = [int(v) for v in highs]
         if len(lows) != len(highs):
             raise FilterQueryError("lows and highs must align")
-        single_level = (
-            self.num_levels == 1
-            and self._key_bits <= 64
-            and self._num_keys > 0
-            and not self._filters[0].is_always_positive
-        )
-        if not single_level:
+        if self._key_bits > 64:
+            # Wide domains cannot ride the uint64 frontier; doubt per query.
             return np.fromiter(
-                (self.may_contain_range(lo, hi) for lo, hi in zip(lows, highs)),
+                (
+                    self.may_contain_range(lo, hi, probe_budget=probe_budget)
+                    for lo, hi in zip(lows, highs)
+                ),
                 dtype=bool,
                 count=len(lows),
             )
-        # Flatten every queried key into one bulk leaf probe.
-        domain_max = self._domain_max()
-        spans: list[np.ndarray] = []
-        bounds: list[int] = [0]
-        for low, high in zip(lows, highs):
-            if low > high:
-                raise FilterQueryError(f"invalid range: low={low} > high={high}")
-            clamped_high = min(high, domain_max)
-            spans.append(
-                np.arange(max(low, 0), clamped_high + 1, dtype=np.uint64)
-            )
-            bounds.append(bounds[-1] + len(spans[-1]))
-        flat = (
-            np.concatenate(spans) if spans else np.zeros(0, dtype=np.uint64)
-        )
+        clamped = [self._clamp_range(lo, hi) for lo, hi in zip(lows, highs)]
         self.stats.range_queries += len(lows)
-        self.stats.bloom_probes += len(flat)
-        hits = self._filters[0].may_contain_many_ints(flat)
-        return np.fromiter(
-            (
-                bool(hits[bounds[i] : bounds[i + 1]].any())
-                for i in range(len(lows))
-            ),
-            dtype=bool,
-            count=len(lows),
+        answers = np.zeros(len(lows), dtype=bool)
+        if self._num_keys == 0 or not lows:
+            return answers
+        if probe_budget is not None and probe_budget < 1:
+            # Exhausted before the first probe: every query degrades to a
+            # (sound) positive, as in the scalar path.
+            answers[:] = True
+            return answers
+        live = [i for i, (lo, hi) in enumerate(clamped) if lo <= hi]
+        if not live:
+            return answers
+        if probe_budget is not None:
+            dedup = False
+        result = doubting.doubt_batch(
+            self._filters,
+            [clamped[i][0] for i in live],
+            [clamped[i][1] for i in live],
+            dedup=dedup,
+            probe_budget=probe_budget,
         )
+        self._charge(result)
+        answers[live] = result.answers
+        return answers
 
     def may_contain_range(
         self, low: int, high: int, probe_budget: int | None = None
@@ -384,6 +413,12 @@ class Rosetta:
         """Range-emptiness lookup (Algorithm 2).
 
         Returns ``False`` only if ``[low, high]`` definitely holds no key.
+
+        Resolved by the frontier engine as a batch of one, in the exact
+        accounting mode: verdicts, :class:`ProbeStats` charges, and
+        ``probe_budget`` semantics are identical to the reference recursion
+        (:meth:`may_contain_range_recursive`), but each level of the doubt
+        is one bulk Bloom probe instead of a Python recursion.
 
         ``probe_budget`` caps the Bloom probes spent on this query — the
         CPU side of the paper's CPU/FPR tradeoff made explicit.  When the
@@ -397,6 +432,36 @@ class Rosetta:
             return False
         if probe_budget is not None and probe_budget < 1:
             return True
+        if self._key_bits > 64:
+            return self._doubt_decomposition(low, high, probe_budget)
+        result = doubting.doubt_batch(
+            self._filters, [low], [high], dedup=False, probe_budget=probe_budget
+        )
+        self._charge(result)
+        return bool(result.answers[0])
+
+    def may_contain_range_recursive(
+        self, low: int, high: int, probe_budget: int | None = None
+    ) -> bool:
+        """The pre-engine scalar path: per-prefix recursive doubting.
+
+        Kept as the executable reference for Algorithm 2 — the equivalence
+        tests pin :meth:`may_contain_range` and
+        :meth:`may_contain_range_batch` (dedup off) to its verdicts *and*
+        probe counts.  Also the fallback for domains wider than 64 bits.
+        """
+        low, high = self._clamp_range(low, high)
+        self.stats.range_queries += 1
+        if self._num_keys == 0 or low > high:
+            return False
+        if probe_budget is not None and probe_budget < 1:
+            return True
+        return self._doubt_decomposition(low, high, probe_budget)
+
+    def _doubt_decomposition(
+        self, low: int, high: int, probe_budget: int | None
+    ) -> bool:
+        """Decompose-and-doubt loop shared by the recursive paths."""
         deadline = (
             self.stats.bloom_probes + probe_budget
             if probe_budget is not None
@@ -414,11 +479,46 @@ class Rosetta:
         Returns ``None`` when the range is definitely empty; otherwise the
         narrowest ``(effective_low, effective_high)`` sub-range that may hold
         keys — storage I/O can then seek the narrower range.
+
+        The frontier engine extracts both bounds in one sweep: the leaf
+        level's surviving prefixes are reduced per query to their minimum
+        and maximum, so no subtree is walked twice.  Verdicts and bounds
+        match :meth:`tightened_range_recursive`; probe charges are the bulk
+        probes actually issued (the engine dedups within the sweep, and
+        never re-probes shared nodes the way the recursive left/right scans
+        do).
         """
         low, high = self._clamp_range(low, high)
         self.stats.range_queries += 1
         if self._num_keys == 0 or low > high:
             return None
+        if self._key_bits > 64:
+            return self._tightened_scan(low, high)
+        result = doubting.doubt_batch(
+            self._filters, [low], [high], dedup=True, want_bounds=True
+        )
+        self._charge(result)
+        if not result.answers[0]:
+            return None
+        effective_low = int(result.effective_lows[0])
+        effective_high = int(result.effective_highs[0])
+        return (
+            max(effective_low, low),
+            min(max(effective_high, effective_low), high),
+        )
+
+    def tightened_range_recursive(
+        self, low: int, high: int
+    ) -> tuple[int, int] | None:
+        """The pre-engine tightening path (reference; wide-domain fallback)."""
+        low, high = self._clamp_range(low, high)
+        self.stats.range_queries += 1
+        if self._num_keys == 0 or low > high:
+            return None
+        return self._tightened_scan(low, high)
+
+    def _tightened_scan(self, low: int, high: int) -> tuple[int, int] | None:
+        """Left/right recursive survivor scans shared by the legacy paths."""
         intervals = list(dyadic.decompose(low, high, self._max_height))
         self.stats.dyadic_intervals += len(intervals)
 
@@ -444,8 +544,14 @@ class Rosetta:
                 break
         return max(effective_low, low), min(max(effective_high, effective_low), high)
 
+    def _charge(self, result: FrontierResult) -> None:
+        """Fold a frontier-engine result into this instance's counters."""
+        self.stats.bloom_probes += result.probes
+        self.stats.dyadic_intervals += result.intervals
+        self.stats.bulk_probe_calls += result.bulk_probe_calls
+
     # ------------------------------------------------------------------
-    # Doubting (Algorithm 2 core)
+    # Doubting (Algorithm 2 core, recursive reference)
     # ------------------------------------------------------------------
     def _probe(self, prefix: int, height: int) -> bool:
         filt = self._filters[height]

@@ -57,6 +57,26 @@ class KeyFilter(abc.ABC):
     def serialize(self) -> bytes:
         """Serialize contents and structure to bytes."""
 
+    def may_contain_batch(self, keys: Sequence[int]) -> list[bool]:
+        """Vectorized point lookups; one verdict per key.
+
+        The default degrades to a Python loop over :meth:`may_contain`;
+        filters with a bulk probe path (Rosetta's frontier engine, plain
+        Bloom's array probe) override it.
+        """
+        return [self.may_contain(int(key)) for key in keys]
+
+    def may_contain_range_batch(self, lows: Sequence[int], highs: Sequence[int]) -> list[bool]:
+        """Vectorized range lookups; one verdict per (low, high) pair.
+
+        Default is a loop over :meth:`may_contain_range`; overridden where
+        the filter can resolve the whole batch in bulk.
+        """
+        return [
+            self.may_contain_range(int(lo), int(hi))
+            for lo, hi in zip(lows, highs)
+        ]
+
     def tightened_range(self, low: int, high: int) -> tuple[int, int] | None:
         """Optionally narrow a positive range (None = definitely empty).
 

@@ -65,8 +65,20 @@ class RosettaFilter(KeyFilter):
         return self._require_populated().may_contain(int(key))
 
     def may_contain_range(self, low: int, high: int) -> bool:
-        """Dyadic decomposition + recursive doubting (Algorithm 2)."""
+        """Dyadic decomposition + frontier doubting (Algorithm 2)."""
         return self._require_populated().may_contain_range(low, high)
+
+    def may_contain_batch(self, keys: Sequence[int]) -> list[bool]:
+        """Bulk point lookups on the full-key level."""
+        core = self._require_populated()
+        return [bool(v) for v in core.may_contain_batch(keys)]
+
+    def may_contain_range_batch(
+        self, lows: Sequence[int], highs: Sequence[int]
+    ) -> list[bool]:
+        """Bulk range lookups via the frontier engine (one sweep per level)."""
+        core = self._require_populated()
+        return [bool(v) for v in core.may_contain_range_batch(lows, highs)]
 
     def tightened_range(self, low: int, high: int) -> tuple[int, int] | None:
         """§2.2.1 effective-range tightening."""

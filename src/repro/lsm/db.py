@@ -31,7 +31,10 @@ from repro.filters.rosetta_adapter import RosettaFilter
 from repro.lsm.block_cache import BlockCache
 from repro.lsm.compaction import Compactor
 from repro.lsm.env import StorageEnv
-from repro.lsm.filter_integration import FilterDictionary
+from repro.lsm.filter_integration import (
+    FilterDictionary,
+    batched_tightened_ranges,
+)
 from repro.lsm.format import ValueTag
 from repro.lsm.iterators import MergingIterator, live_entries
 from repro.lsm.memtable import MemTable
@@ -389,8 +392,8 @@ class DB:
         candidates = self._version.runs_for_range(low_bytes, high_bytes)
         context.runs_considered = len(candidates)
         positive_runs: list[tuple[Run, bytes]] = []
-        for run in candidates:
-            effective = self._probe_filter_range(run, low, high)
+        effectives = self._probe_filters_range(candidates, low, high)
+        for run, effective in zip(candidates, effectives):
             if effective is not None:
                 seek_key = max(low_bytes, self._encode_key(effective[0]))
                 positive_runs.append((run, seek_key))
@@ -458,20 +461,35 @@ class DB:
                 contributed[run.name] = True
             yield key, tag, value
 
-    def _probe_filter_range(
-        self, run: Run, low: int, high: int
-    ) -> tuple[int, int] | None:
-        """Probe one run's filter; returns the (tightened) range or None."""
-        filt = self._filter_dictionary.get_filter(run.reader, self.stats)
-        if filt is None:
-            return (low, high)  # fence pointers already said "overlaps"
-        self.stats.filter_probes += 1
+    def _probe_filters_range(
+        self, runs: list[Run], low: int, high: int
+    ) -> list[tuple[int, int] | None]:
+        """Probe every overlapping run's filter for ``[low, high]`` at once.
+
+        All Rosetta-backed runs share one frontier sweep per level
+        (:func:`~repro.lsm.filter_integration.batched_tightened_ranges`);
+        runs without a filter block pass through as ``(low, high)``.
+        Per-run verdict bookkeeping matches the old one-probe-per-run path.
+        """
+        if not runs:
+            return []
+        filters = [
+            self._filter_dictionary.get_filter(run.reader, self.stats)
+            for run in runs
+        ]
         with Stopwatch(self.stats, "filter_probe_ns"):
-            effective = filt.tightened_range(low, high)
-        if effective is None:
-            self.stats.filter_negatives += 1
-            self.tracker.record_filter_outcome(False, False)
-        return effective
+            effectives, batch_sweeps = batched_tightened_ranges(
+                filters, low, high
+            )
+        self.stats.filter_batch_probes += batch_sweeps
+        for filt, effective in zip(filters, effectives):
+            if filt is None:
+                continue  # fence pointers already said "overlaps"
+            self.stats.filter_probes += 1
+            if effective is None:
+                self.stats.filter_negatives += 1
+                self.tracker.record_filter_outcome(False, False)
+        return effectives
 
     def _record_filter_outcome(self, run: Run, positive: bool, truly: bool) -> None:
         if positive:

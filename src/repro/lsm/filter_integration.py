@@ -15,11 +15,15 @@ Two pieces:
 
 from __future__ import annotations
 
+from typing import Sequence
+
+from repro.core import doubting
 from repro.filters.base import KeyFilter, deserialize_filter
+from repro.filters.rosetta_adapter import RosettaFilter
 from repro.lsm.sstable import SSTReader
 from repro.lsm.stats import PerfStats, Stopwatch
 
-__all__ = ["FilterDictionary"]
+__all__ = ["FilterDictionary", "batched_tightened_ranges"]
 
 
 class FilterDictionary:
@@ -55,3 +59,68 @@ class FilterDictionary:
 
     def __len__(self) -> int:
         return len(self._filters)
+
+
+def batched_tightened_ranges(
+    filters: Sequence[KeyFilter | None], low: int, high: int
+) -> tuple[list[tuple[int, int] | None], int]:
+    """Tighten ``[low, high]`` against every run's filter in one sweep.
+
+    The multi-SST seek of the read path: all overlapping runs probe the same
+    range, so their Rosetta instances share one frontier sweep per level
+    (:func:`repro.core.doubting.tighten_across_stacks`) — the 64-bit base
+    hashes of each candidate prefix are computed once across all runs.
+
+    ``filters[i] is None`` means run *i* has fence pointers only and passes
+    through as ``(low, high)``; non-Rosetta filters (and Rosetta instances
+    the engine cannot batch: empty, or domains wider than 64 bits) fall back
+    to their scalar :meth:`~repro.filters.base.KeyFilter.tightened_range`.
+    Per-instance :class:`~repro.core.rosetta.ProbeStats` are charged exactly
+    as if each filter had been probed alone, except that probe counts are
+    the deduped bulk probes.
+
+    Returns ``(results, batch_sweeps)`` — one tightened range (or ``None``
+    for a definite miss) per input filter, and the number of multi-run
+    frontier sweeps issued (0 or 1; the caller feeds it into
+    ``PerfStats.filter_batch_probes``).
+    """
+    results: list[tuple[int, int] | None] = [None] * len(filters)
+    stacks = []
+    key_bits = []
+    cores = []
+    slots = []
+    for i, filt in enumerate(filters):
+        if filt is None:
+            results[i] = (low, high)
+            continue
+        core = getattr(filt, "rosetta", None) if isinstance(filt, RosettaFilter) else None
+        if core is not None and core.key_bits <= 64 and core.num_keys > 0:
+            stacks.append(core.levels)
+            key_bits.append(core.key_bits)
+            cores.append(core)
+            slots.append(i)
+        else:
+            results[i] = filt.tightened_range(low, high)
+    if not stacks:
+        return results, 0
+    tightened, outcome = doubting.tighten_across_stacks(
+        stacks, key_bits, low, high
+    )
+    # Queries inside the sweep follow job order, minus jobs whose domain
+    # clamp emptied the range; reconstruct that mapping to route per-query
+    # interval charges back to the owning instance.
+    intervals_of_job: dict[int, int] = {}
+    query = 0
+    for j, bits in enumerate(key_bits):
+        if max(int(low), 0) <= min(int(high), (1 << bits) - 1):
+            intervals_of_job[j] = int(outcome.intervals_per_query[query])
+            query += 1
+    probes = outcome.probes_per_job
+    for j, (core, slot) in enumerate(zip(cores, slots)):
+        core.stats.range_queries += 1
+        if probes is not None:
+            core.stats.bloom_probes += int(probes[j])
+        core.stats.dyadic_intervals += intervals_of_job.get(j, 0)
+        core.stats.bulk_probe_calls += outcome.bulk_probe_calls
+        results[slot] = tightened[j]
+    return results, 1

@@ -46,6 +46,7 @@ class PerfStats:
 
     # --- Filter verdicts ---
     filter_probes: int = 0
+    filter_batch_probes: int = 0  # bulk frontier sweeps spanning several runs
     filter_negatives: int = 0
     filter_true_positives: int = 0
     filter_false_positives: int = 0

@@ -1,0 +1,202 @@
+"""Equivalence properties of the frontier doubting engine.
+
+The engine (:mod:`repro.core.doubting`) replaces the reference recursion
+behind every Rosetta range-query path; these tests pin its contract:
+
+* ``may_contain_range`` (engine, exact mode), ``may_contain_range_batch``
+  with ``dedup=False``, and ``may_contain_range_recursive`` (the pre-change
+  path) agree on every verdict *and* on ``ProbeStats.bloom_probes``;
+* ``dedup=True`` batches agree on verdicts;
+* ``probe_budget`` semantics (deadline, budget-exhausted positive) are
+  identical across all three;
+* ``tightened_range`` returns the same bounds as the recursive scan;
+* edge cases: empty filter, zero-bit (always-positive) levels,
+  ``max_range=1``, domain clamping.
+
+Randomization is seeded; the combined strategy sweep covers well over the
+1000 queries the acceptance bar asks for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import doubting
+from repro.core.bloom import BloomFilter
+from repro.core.rosetta import Rosetta
+
+STRATEGIES = ("optimized", "single", "equilibrium", "uniform")
+
+KEY_BITS = 32
+MAX_RANGE = 32
+QUERIES_PER_STRATEGY = 300
+
+
+def _build(keys, strategy, bits_per_key=16, max_range=MAX_RANGE):
+    return Rosetta.build(
+        keys,
+        key_bits=KEY_BITS,
+        bits_per_key=bits_per_key,
+        max_range=max_range,
+        strategy=strategy,
+    )
+
+
+def _mixed_ranges(rng, keys, count, max_range=MAX_RANGE):
+    """Ranges of every size class, half of them hugging stored keys."""
+    domain_max = (1 << KEY_BITS) - 1
+    lows, highs = [], []
+    for i in range(count):
+        size = rng.choice((1, 2, 3, max(1, max_range // 2), max_range))
+        if i % 2 == 0:
+            anchor = rng.choice(keys)
+            low = max(0, anchor - rng.randrange(size + 2))
+        else:
+            low = rng.randrange(domain_max - size)
+        lows.append(low)
+        highs.append(min(low + size - 1, domain_max))
+    return lows, highs
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_batch_scalar_recursive_agree(strategy, small_keys, rng):
+    """Verdicts and probe counts match across all three paths."""
+    filt = _build(small_keys, strategy)
+    lows, highs = _mixed_ranges(rng, small_keys, QUERIES_PER_STRATEGY)
+
+    reference = []
+    per_query_probes = []
+    for low, high in zip(lows, highs):
+        before = filt.stats.bloom_probes
+        reference.append(filt.may_contain_range_recursive(low, high))
+        per_query_probes.append(filt.stats.bloom_probes - before)
+
+    for low, high, want, probes in zip(lows, highs, reference, per_query_probes):
+        before = filt.stats.bloom_probes
+        assert filt.may_contain_range(low, high) == want
+        assert filt.stats.bloom_probes - before == probes
+
+    filt.stats.reset()
+    exact = filt.may_contain_range_batch(lows, highs, dedup=False)
+    assert exact.tolist() == reference
+    assert filt.stats.bloom_probes == sum(per_query_probes)
+    assert filt.stats.range_queries == len(lows)
+
+    deduped = filt.may_contain_range_batch(lows, highs)
+    assert deduped.tolist() == reference
+
+
+@pytest.mark.parametrize("strategy", ("optimized", "single"))
+def test_probe_budget_equivalence(strategy, small_keys, rng):
+    """Budgeted answers and charges match the recursive deadline exactly."""
+    filt = _build(small_keys, strategy)
+    lows, highs = _mixed_ranges(rng, small_keys, 120)
+    for budget in (1, 2, 4, 16):
+        reference = []
+        per_query_probes = []
+        for low, high in zip(lows, highs):
+            filt.stats.reset()
+            reference.append(
+                filt.may_contain_range_recursive(low, high, probe_budget=budget)
+            )
+            per_query_probes.append(filt.stats.bloom_probes)
+        for low, high, want, probes in zip(
+            lows, highs, reference, per_query_probes
+        ):
+            filt.stats.reset()
+            assert filt.may_contain_range(low, high, probe_budget=budget) == want
+            assert filt.stats.bloom_probes == probes
+        filt.stats.reset()
+        batch = filt.may_contain_range_batch(lows, highs, probe_budget=budget)
+        assert batch.tolist() == reference
+        assert filt.stats.bloom_probes == sum(per_query_probes)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_tightened_range_matches_recursive(strategy, small_keys, rng):
+    """Engine-extracted bounds equal the recursive left/right scans."""
+    filt = _build(small_keys, strategy)
+    lows, highs = _mixed_ranges(rng, small_keys, 150)
+    for low, high in zip(lows, highs):
+        assert filt.tightened_range(low, high) == filt.tightened_range_recursive(
+            low, high
+        )
+
+
+def test_no_false_negatives(small_keys, rng):
+    """Every range containing a stored key answers True in every mode."""
+    filt = _build(small_keys, "optimized")
+    lows = [max(0, k - 2) for k in small_keys[:200]]
+    highs = [k + 2 for k in small_keys[:200]]
+    assert filt.may_contain_range_batch(lows, highs).all()
+    assert filt.may_contain_range_batch(lows, highs, dedup=False).all()
+    for low, high in zip(lows[:50], highs[:50]):
+        assert filt.tightened_range(low, high) is not None
+
+
+def test_empty_filter():
+    filt = Rosetta.build([], key_bits=16, bits_per_key=10)
+    assert not filt.may_contain_range(0, 9)
+    assert not filt.may_contain_range_batch([0, 5], [3, 9]).any()
+    assert filt.tightened_range(0, 9) is None
+
+
+def test_max_range_one(small_keys, rng):
+    """max_range=1 degenerates to point probes; all paths still agree."""
+    filt = _build(small_keys, "optimized", max_range=1)
+    assert filt.num_levels == 1
+    lows, highs = _mixed_ranges(rng, small_keys, 200, max_range=1)
+    reference = [
+        filt.may_contain_range_recursive(lo, hi) for lo, hi in zip(lows, highs)
+    ]
+    assert filt.may_contain_range_batch(lows, highs).tolist() == reference
+    assert (
+        filt.may_contain_range_batch(lows, highs, dedup=False).tolist()
+        == reference
+    )
+
+
+def test_zero_bit_levels_probe_free(small_keys):
+    """'single' zeroes every non-leaf level; those doubts cost no probes."""
+    filt = _build(small_keys, "single")
+    assert any(level.is_always_positive for level in filt.levels)
+    filt.stats.reset()
+    filt.may_contain_range_batch([0, 100], [7, 115])
+    # Only leaf probes are charged: one per key of each range.
+    assert filt.stats.bloom_probes == 8 + 16
+
+
+def test_domain_clamp(small_keys):
+    filt = _build(small_keys, "optimized")
+    domain_max = (1 << KEY_BITS) - 1
+    batch = filt.may_contain_range_batch([domain_max - 3], [domain_max + 100])
+    assert batch.tolist() == [filt.may_contain_range(domain_max - 3, domain_max)]
+
+
+def test_tighten_across_stacks_matches_scalar(small_keys, rng):
+    """The multi-stack sweep equals per-filter scalar tightening."""
+    filters = [
+        _build(rng.sample(small_keys, 500), strategy)
+        for strategy in ("optimized", "single", "equilibrium")
+    ]
+    for _ in range(40):
+        low = rng.randrange((1 << KEY_BITS) - MAX_RANGE)
+        high = low + rng.randrange(MAX_RANGE)
+        tightened, outcome = doubting.tighten_across_stacks(
+            [f.levels for f in filters],
+            [f.key_bits for f in filters],
+            low,
+            high,
+        )
+        for filt, got in zip(filters, tightened):
+            assert got == filt.tightened_range_recursive(low, high)
+        assert outcome.bulk_probe_calls > 0
+
+
+def test_survivor_indexes_match_bulk_probe(small_keys):
+    """BloomFilter.survivor_indexes == nonzero(may_contain_many_ints)."""
+    filt = BloomFilter(num_bits=4096, num_hashes=4)
+    filt.add_many_ints(np.asarray(small_keys[:500], dtype=np.uint64))
+    probe = np.asarray(small_keys[:1000], dtype=np.uint64)
+    survivors = filt.survivor_indexes(probe)
+    expected = np.nonzero(filt.may_contain_many_ints(probe))[0]
+    assert np.array_equal(survivors, expected)
