@@ -1,0 +1,184 @@
+"""Throughput of the batched LSM point-lookup path vs a per-key get loop.
+
+The tentpole number for ``DB.multi_get``: resolve a 10k-key batch against a
+multi-run tree (several L0 SSTs behind a Rosetta per run) with
+
+* the scalar reference (one ``db.get`` per key: per-key QueryContext,
+  per-key stats snapshot/diff, one scalar filter probe per surviving run),
+* the batched path (one memtable pass, one ``may_contain_batch`` per run
+  for that run's whole surviving key group, one aggregated context).
+
+The headline regime is filter-bound: mostly-absent keys, where almost every
+run answers from its Bloom gather and no block is read.  A mixed batch
+(half present) is measured alongside for the value-fetch-bound regime.
+
+Results (throughputs, speedups, verdict agreement) go to
+``BENCH_multi_get.json`` at the repo root.  The batched path must clear a
+3x speedup over the scalar loop on the mostly-absent batch.
+
+Runs standalone (``python benchmarks/bench_multi_get.py [--smoke]``) and
+as a pytest test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.factories import make_factory
+from repro.lsm.db import DB
+from repro.lsm.options import DBOptions
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_multi_get.json"
+
+SPEEDUP_FLOOR = 3.0
+
+
+def _build_db(
+    directory: str,
+    num_keys: int,
+    num_runs: int,
+    key_bits: int,
+    bits_per_key: float,
+    seed: int,
+) -> tuple[DB, list[int]]:
+    """A tree of ``num_runs`` overlapping L0 runs, compaction disabled."""
+    options = DBOptions(
+        key_bits=key_bits,
+        memtable_size_bytes=64 << 20,
+        use_wal=False,
+        level0_file_num_compaction_trigger=num_runs + 64,
+    )
+    options.filter_factory = make_factory(
+        "rosetta", key_bits, bits_per_key, max_range=64
+    )
+    db = DB(directory, options)
+    rng = random.Random(seed)
+    keys = rng.sample(range(1 << (key_bits - 2)), num_keys)
+    per_run = num_keys // num_runs
+    for r in range(num_runs):
+        for key in keys[r * per_run : (r + 1) * per_run]:
+            db.put(key, b"value-%d" % key)
+        db.flush()
+    return db, keys
+
+
+def run_benchmark(
+    num_keys: int = 40_000,
+    num_queries: int = 10_000,
+    num_runs: int = 6,
+    key_bits: int = 32,
+    bits_per_key: float = 24.0,
+    seed: int = 613,
+) -> dict:
+    """Build the tree, run both paths on two batch mixes, return the record."""
+    rng = random.Random(seed + 1)
+    with tempfile.TemporaryDirectory() as directory:
+        db, keys = _build_db(
+            directory, num_keys, num_runs, key_bits, bits_per_key, seed
+        )
+        present = set(keys)
+        absent = []
+        while len(absent) < num_queries:
+            key = rng.randrange(1 << key_bits)
+            if key not in present:
+                absent.append(key)
+        mixed = rng.sample(keys, num_queries // 2) + absent[: num_queries // 2]
+        rng.shuffle(mixed)
+
+        record = {
+            "num_keys": num_keys,
+            "num_queries": num_queries,
+            "num_runs": num_runs,
+            "bits_per_key": bits_per_key,
+            "batches": {},
+        }
+        for label, batch in (("absent", absent), ("mixed", mixed)):
+            # Warm the filter dictionary and block cache so both timed
+            # passes measure probe work, not first-touch deserialization.
+            db.multi_get(batch[:64])
+
+            start = time.perf_counter()
+            scalar = {key: db.get(key) for key in batch}
+            scalar_seconds = time.perf_counter() - start
+
+            before = db.stats.snapshot()
+            start = time.perf_counter()
+            batched = db.multi_get(batch)
+            batch_seconds = time.perf_counter() - start
+            delta = db.stats.diff(before)
+
+            record["batches"][label] = {
+                "results_found": sum(v is not None for v in batched.values()),
+                "answers_agree": scalar == batched,
+                "scalar": {
+                    "seconds": scalar_seconds,
+                    "keys_per_second": len(batch) / scalar_seconds,
+                },
+                "batched": {
+                    "seconds": batch_seconds,
+                    "keys_per_second": len(batch) / batch_seconds,
+                    "filter_batch_probes": delta.filter_batch_probes,
+                    "speedup_vs_scalar": scalar_seconds / batch_seconds,
+                },
+            }
+        db.close()
+    return record
+
+
+def _emit(record: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    lines = [
+        f"{record['num_queries']} keys per batch, {record['num_runs']} runs, "
+        f"{record['num_keys']} resident keys"
+    ]
+    for label, batch in record["batches"].items():
+        lines.append(
+            f"  {label:>6}: scalar {batch['scalar']['keys_per_second']:>9.0f} k/s, "
+            f"batched {batch['batched']['keys_per_second']:>9.0f} k/s "
+            f"({batch['batched']['speedup_vs_scalar']:.1f}x), "
+            f"agree: {batch['answers_agree']}"
+        )
+    lines.append(f"  -> {RESULT_PATH}")
+    print("\n".join(lines))
+
+
+def test_multi_get_speedup():
+    """The acceptance gate: >=3x on the absent batch, results identical."""
+    record = run_benchmark()
+    _emit(record)
+    for batch in record["batches"].values():
+        assert batch["answers_agree"]
+    assert record["batches"]["absent"]["batched"]["speedup_vs_scalar"] >= SPEEDUP_FLOOR
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes for CI: verifies agreement, skips the 3x gate",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        record = run_benchmark(num_keys=4000, num_queries=500, num_runs=4)
+    else:
+        record = run_benchmark()
+    _emit(record)
+    if not all(b["answers_agree"] for b in record["batches"].values()):
+        print("FAIL: batched results disagree with per-key gets", file=sys.stderr)
+        return 1
+    absent = record["batches"]["absent"]["batched"]["speedup_vs_scalar"]
+    if not args.smoke and absent < SPEEDUP_FLOOR:
+        print(f"FAIL: absent-batch speedup below {SPEEDUP_FLOOR}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -250,6 +250,22 @@ class BloomFilter:
         hits = self._bits.test_many(indexes.ravel()).reshape(indexes.shape)
         return hits.all(axis=1)
 
+    def contains_batch(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership probe with duplicate values hashed once.
+
+        The batched point-lookup primitive: the distinct values are
+        double-hashed in bulk, every probe position across all ``k`` hash
+        rounds is materialized at once, and the bit array answers them in a
+        single gather; verdicts then scatter back through the inverse map,
+        so repeated values cost one hash/probe set instead of one each.
+        Agrees with :meth:`may_contain` element-wise.
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        if self.is_always_positive or len(values) == 0:
+            return self.may_contain_many_ints(values)
+        unique, inverse = np.unique(values, return_inverse=True)
+        return self.may_contain_many_ints(unique)[inverse]
+
     def survivor_indexes(self, values: np.ndarray) -> np.ndarray:
         """Indexes of the values that may be present (vectorized fast path).
 

@@ -33,6 +33,11 @@ Probe accounting has two modes, selected by ``dedup``:
 
 * ``dedup=True`` (the default, and the fast path): reported probe counts are
   the bulk probes actually issued — unique prefixes per level per stack.
+  A call whose batch holds exactly one live query is routed through the
+  exact mode below instead (unless bounds are requested): a batch of one is
+  the scalar path in disguise, so its verdict, probe charge, and interval
+  charge match :meth:`~repro.core.rosetta.Rosetta.may_contain_range`
+  counter for counter.
 * ``dedup=False``: counts (and ``probe_budget`` semantics, and budgeted
   answers) reproduce the sequential Algorithm-2 recursion *exactly*, query by
   query.  Execution stays vectorized — the engine probes the full frontier
@@ -206,6 +211,19 @@ def doubt_frontier(
     num_queries = len(lows)
     lows = [int(v) for v in lows]
     highs = [int(v) for v in highs]
+    if (
+        not exact
+        and not want_bounds
+        and sum(lo <= hi for lo, hi in zip(lows, highs)) == 1
+    ):
+        # A batch of one is the scalar path in disguise: give it the scalar
+        # short-circuit (replayed exact accounting, per-interval early exit)
+        # so bloom_probes / dyadic_intervals for a single query are identical
+        # no matter which entry point issued it.  Without this, the round
+        # assembly below decomposes and probes the whole round with no
+        # per-query early exit, charging more probes and intervals than
+        # may_contain_range does for the very same range.
+        exact = True
     job_ids = np.asarray(list(job_of_query), dtype=np.int64)
     max_heights = [len(stack) - 1 for stack in stacks]
 

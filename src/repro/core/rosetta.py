@@ -323,8 +323,12 @@ class Rosetta:
     def may_contain_batch(self, keys) -> np.ndarray:
         """Vectorized point lookups: one boolean per key.
 
-        Equivalent to mapping :meth:`may_contain`, but the leaf level's
-        probes run as NumPy bulk operations (requires ``key_bits <= 64``).
+        Equivalent to mapping :meth:`may_contain`, but the leaf level
+        answers the whole batch through one
+        :meth:`~repro.core.bloom.BloomFilter.may_contain_many_ints` gather
+        (requires ``key_bits <= 64``).  Duplicate keys are hashed and
+        probed once; ``bloom_probes`` charges the distinct probes actually
+        issued, mirroring the range paths' dedup accounting.
         """
         keys = np.asarray(keys, dtype=np.uint64)
         if self._key_bits > 64:
@@ -339,9 +343,11 @@ class Rosetta:
         if self._num_keys == 0:
             return np.zeros(len(keys), dtype=bool)
         leaf = self._filters[0]
-        if not leaf.is_always_positive:
-            self.stats.bloom_probes += len(keys)
-        return leaf.may_contain_many_ints(keys)
+        if leaf.is_always_positive:
+            return np.ones(len(keys), dtype=bool)
+        unique, inverse = np.unique(keys, return_inverse=True)
+        self.stats.bloom_probes += len(unique)
+        return leaf.may_contain_many_ints(unique)[inverse]
 
     def may_contain_range_batch(
         self,
@@ -365,7 +371,10 @@ class Rosetta:
         ``dedup=False`` switches probe accounting (and ``probe_budget``
         semantics) to match the sequential recursion exactly, query by
         query; a ``probe_budget`` forces that mode.  Verdicts agree with
-        :meth:`may_contain_range` query-for-query in both modes.
+        :meth:`may_contain_range` query-for-query in both modes, and a
+        batch holding a single live query takes the scalar path's exact
+        accounting either way, so its ``bloom_probes`` /
+        ``dyadic_intervals`` charges equal the scalar call's.
         """
         lows = [int(v) for v in lows]
         highs = [int(v) for v in highs]

@@ -60,9 +60,12 @@ class KeyFilter(abc.ABC):
     def may_contain_batch(self, keys: Sequence[int]) -> list[bool]:
         """Vectorized point lookups; one verdict per key.
 
-        The default degrades to a Python loop over :meth:`may_contain`;
-        filters with a bulk probe path (Rosetta's frontier engine, plain
-        Bloom's array probe) override it.
+        The batched LSM point path (``DB.multi_get``) issues one call per
+        run for that run's whole key group, so overriding this is how a
+        filter joins the bulk read path.  The default degrades to a Python
+        loop over :meth:`may_contain`; filters with a bulk probe path
+        (Rosetta's and plain Bloom's ``contains_batch`` gather) override
+        it.  Verdicts must agree with :meth:`may_contain` element-wise.
         """
         return [self.may_contain(int(key)) for key in keys]
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.bloom import BloomFilter, optimal_num_hashes
 from repro.errors import FilterBuildError, FilterQueryError
 from repro.filters.base import KeyFilter, register_filter_codec
@@ -57,6 +59,15 @@ class BloomPointFilter(KeyFilter):
         bloom = self._require_populated()
         self._probes += 1
         return bloom.may_contain(int(key))
+
+    def may_contain_batch(self, keys: Sequence[int]) -> list[bool]:
+        """Bulk point probes: one vectorized Bloom gather for the batch."""
+        bloom = self._require_populated()
+        if self.key_bits > 64:
+            return super().may_contain_batch(keys)
+        self._probes += len(keys)
+        values = np.fromiter((int(k) for k in keys), dtype=np.uint64)
+        return [bool(v) for v in bloom.contains_batch(values)]
 
     def may_contain_range(self, low: int, high: int) -> bool:
         """Degenerate: a size-1 range is a point probe, anything else passes."""

@@ -69,8 +69,15 @@ class RosettaFilter(KeyFilter):
         return self._require_populated().may_contain_range(low, high)
 
     def may_contain_batch(self, keys: Sequence[int]) -> list[bool]:
-        """Bulk point lookups on the full-key level."""
+        """Bulk point lookups on the full-key level.
+
+        One :meth:`~repro.core.bloom.BloomFilter.contains_batch` gather for
+        the whole batch, duplicates hashed once; wide (>64-bit) domains
+        degrade to the scalar loop.
+        """
         core = self._require_populated()
+        if core.key_bits > 64:
+            return [core.may_contain(int(key)) for key in keys]
         return [bool(v) for v in core.may_contain_batch(keys)]
 
     def may_contain_range_batch(

@@ -22,7 +22,7 @@ filter instances adopt the workload-optimal configuration.
 from __future__ import annotations
 
 import json
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.tuning import AutoTuner, TuningDecision, WorkloadTracker
 from repro.errors import ClosedStoreError, FilterQueryError, StoreError
@@ -33,6 +33,7 @@ from repro.lsm.compaction import Compactor
 from repro.lsm.env import StorageEnv
 from repro.lsm.filter_integration import (
     FilterDictionary,
+    batched_point_verdicts,
     batched_tightened_ranges,
 )
 from repro.lsm.format import ValueTag
@@ -499,8 +500,121 @@ class DB:
                 self.stats.filter_false_positives += 1
 
     def multi_get(self, keys: Iterable[int]) -> dict[int, bytes | None]:
-        """Point-look-up many keys; absent/deleted keys map to None."""
-        return {int(key): self.get(int(key)) for key in keys}
+        """Point-look-up many keys in one batched pass.
+
+        Equivalent to ``{k: db.get(k) for k in keys}`` — absent and deleted
+        keys map to None — but resolved as a batch:
+
+        * duplicate keys are deduplicated up front, so each distinct key
+          runs the probe pipeline (and is counted in
+          ``stats.point_queries``) exactly once;
+        * the memtable answers the whole batch in one pass;
+        * surviving keys are grouped per run, newest to oldest, and every
+          run's filter answers its whole group with **one**
+          :meth:`~repro.filters.base.KeyFilter.may_contain_batch` probe
+          (each counted in ``PerfStats.filter_batch_probes``, like the
+          range path's frontier sweeps);
+        * ``last_query`` holds one aggregated ``kind="multi_point"``
+          :class:`~repro.lsm.perf_context.QueryContext` for the batch
+          instead of the final key's.
+
+        Run recency is preserved: a key resolved by a newer run (value or
+        tombstone) is never probed against older runs, so verdicts, values,
+        and per-run filter true/false-positive counters match the per-key
+        :meth:`get` loop exactly.
+        """
+        self._check_open()
+        requested = 0
+        distinct: list[int] = []
+        seen: set[int] = set()
+        for key in keys:
+            requested += 1
+            key = int(key)
+            if key not in seen:
+                seen.add(key)
+                distinct.append(key)
+        if not distinct:
+            return {}
+        encoded = [self._encode_key(key) for key in distinct]
+        self.stats.point_queries += len(distinct)
+        self.stats.multi_point_queries += 1
+        for _ in distinct:
+            self.tracker.record_point_query()
+        context = QueryContext(
+            kind="multi_point",
+            low=min(distinct),
+            high=max(distinct),
+            keys_requested=requested,
+            distinct_keys=len(distinct),
+        )
+        before = self.stats.snapshot()
+        values: dict[int, bytes | None] = {}
+        try:
+            # Memtable pass: buffered entries (puts and tombstones) resolve
+            # immediately and never reach the filters.
+            pending: list[tuple[int, bytes]] = []
+            for key, enc in zip(distinct, encoded):
+                buffered = self._memtable.get(enc)
+                if buffered is None:
+                    pending.append((key, enc))
+                    continue
+                tag, value = buffered
+                context.memtable_hits += 1
+                values[key] = value if tag == ValueTag.PUT else None
+
+            # Run passes, newest to oldest: one bulk filter probe per run
+            # for the still-unresolved keys inside its fence span.
+            for run in self._version.all_runs_newest_first():
+                if not pending:
+                    break
+                group = [kv for kv in pending if run.overlaps(kv[1], kv[1])]
+                if not group:
+                    continue
+                context.runs_considered += 1
+                verdicts = self._probe_filter_point_batch(
+                    run, [key for key, _ in group]
+                )
+                resolved: set[int] = set()
+                for (key, enc), verdict in zip(group, verdicts):
+                    if not verdict:
+                        continue
+                    context.iterators_created += 1
+                    found = run.reader.get(enc)
+                    truly_there = found is not None
+                    self._record_filter_outcome(
+                        run, positive=True, truly=truly_there
+                    )
+                    self.tracker.record_filter_outcome(True, truly_there)
+                    if found is not None:
+                        tag, value = found
+                        values[key] = value if tag == ValueTag.PUT else None
+                        resolved.add(key)
+                if resolved:
+                    pending = [kv for kv in pending if kv[0] not in resolved]
+
+            for key, _ in pending:
+                values[key] = None
+            results = {key: values[key] for key in distinct}
+            context.results = sum(1 for v in results.values() if v is not None)
+            return results
+        finally:
+            self._finish_context(context, before)
+
+    def _probe_filter_point_batch(
+        self, run: Run, keys: list[int]
+    ) -> Sequence[bool]:
+        """Bulk sibling of :meth:`_probe_filter_point` for one run's group."""
+        filt = self._filter_dictionary.get_filter(run.reader, self.stats)
+        with Stopwatch(self.stats, "filter_probe_ns"):
+            verdicts, batch_sweeps = batched_point_verdicts(filt, keys)
+        self.stats.filter_batch_probes += batch_sweeps
+        if filt is not None:
+            self.stats.filter_probes += len(keys)
+            negatives = len(keys) - sum(1 for v in verdicts if v)
+            self.stats.filter_negatives += negatives
+            for _ in range(negatives):
+                self.tracker.record_filter_outcome(False, False)
+        return verdicts
 
     def iterator(
         self, start: int | None = None, end: int | None = None

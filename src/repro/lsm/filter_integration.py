@@ -1,6 +1,6 @@
 """Per-run filter management — the §4 integration machinery.
 
-Two pieces:
+Three pieces:
 
 * :class:`FilterDictionary` — "we construct a dictionary containing the
   mapping of the deserialized bits of each Rosetta instance and its
@@ -8,9 +8,12 @@ Two pieces:
   dropped when a compaction destroys the run.  Disabling it (an ablation in
   ``benchmarks/``) re-deserializes the filter block on every query, which
   is what the paper's deserialization-cost discussion is about.
-* :func:`probe_run_filter` — the standard probe path: fetch filter bytes
-  (block cache → device), deserialize (stopwatch), probe (stopwatch), and
-  record the verdict.
+* :func:`batched_tightened_ranges` — the bulk *range* probe: every
+  overlapping run's Rosetta doubts the same range in one multi-stack
+  frontier sweep, returning a §2.2.1-tightened seek window per run.
+* :func:`batched_point_verdicts` — the bulk *point* probe: one
+  ``may_contain_batch`` call per run for that run's whole ``multi_get``
+  key group.
 """
 
 from __future__ import annotations
@@ -23,7 +26,11 @@ from repro.filters.rosetta_adapter import RosettaFilter
 from repro.lsm.sstable import SSTReader
 from repro.lsm.stats import PerfStats, Stopwatch
 
-__all__ = ["FilterDictionary", "batched_tightened_ranges"]
+__all__ = [
+    "FilterDictionary",
+    "batched_point_verdicts",
+    "batched_tightened_ranges",
+]
 
 
 class FilterDictionary:
@@ -59,6 +66,27 @@ class FilterDictionary:
 
     def __len__(self) -> int:
         return len(self._filters)
+
+
+def batched_point_verdicts(
+    filt: KeyFilter | None, keys: Sequence[int]
+) -> tuple[Sequence[bool], int]:
+    """Probe one run's filter for a whole point-lookup key group at once.
+
+    The point-path sibling of :func:`batched_tightened_ranges`: where a
+    range seek shares one frontier sweep across runs, ``multi_get`` groups
+    its surviving keys per run and answers each group with one
+    :meth:`~repro.filters.base.KeyFilter.may_contain_batch` call.
+
+    ``filt is None`` means the run has fence pointers only: every key
+    passes through positive at zero probe cost.  Returns
+    ``(verdicts, batch_sweeps)``; ``batch_sweeps`` (0 or 1) feeds
+    ``PerfStats.filter_batch_probes`` exactly like the range path's
+    frontier sweeps, so the counter spans both bulk probe shapes.
+    """
+    if filt is None or not keys:
+        return [True] * len(keys), 0
+    return filt.may_contain_batch(keys), 1
 
 
 def batched_tightened_ranges(

@@ -20,7 +20,14 @@ __all__ = ["QueryContext"]
 
 @dataclass
 class QueryContext:
-    """Counters for one point or range query."""
+    """Counters for one point, range, or batched multi-point query.
+
+    ``kind="multi_point"`` aggregates a whole :meth:`DB.multi_get` batch
+    into one context: ``low``/``high`` span the distinct keys requested,
+    ``runs_considered`` counts the runs that received at least one batched
+    probe, and the ``keys_requested`` / ``distinct_keys`` /
+    ``memtable_hits`` trio describes the batch shape.
+    """
 
     kind: str = ""
     low: int = 0
@@ -35,6 +42,11 @@ class QueryContext:
     results: int = 0              # live entries returned
     memtable_hit: bool = False
 
+    # multi_point only: batch shape.
+    keys_requested: int = 0       # input keys, duplicates included
+    distinct_keys: int = 0        # lookups actually resolved
+    memtable_hits: int = 0        # keys answered by the memtable alone
+
     notes: list[str] = field(default_factory=list)
 
     @property
@@ -44,10 +56,15 @@ class QueryContext:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        label = (
-            f"point({self.low})" if self.kind == "point"
-            else f"range[{self.low}, {self.high}]"
-        )
+        if self.kind == "point":
+            label = f"point({self.low})"
+        elif self.kind == "multi_point":
+            label = (
+                f"multi_point({self.distinct_keys} keys in "
+                f"[{self.low}, {self.high}], {self.memtable_hits} memtable)"
+            )
+        else:
+            label = f"range[{self.low}, {self.high}]"
         return (
             f"{label}: {self.runs_considered} runs considered, "
             f"{self.filters_probed} filters probed "

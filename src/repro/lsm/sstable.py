@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import struct
 from bisect import bisect_left
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -42,6 +43,11 @@ from repro.lsm.stats import Stopwatch
 
 _FOOTER = struct.Struct("<QQQQQQI")
 _MAGIC = 0x524F5345  # "ROSE"
+
+# Parsed data blocks memoized per reader (entry lists are ~10x the work of
+# the raw block fetch).  Bounded: a point-lookup storm over one file keeps
+# at most this many blocks' decoded entries alive.
+_MAX_DECODED_BLOCKS = 16
 
 __all__ = ["SSTWriter", "SSTReader", "SSTMeta"]
 
@@ -218,6 +224,9 @@ class SSTReader:
         index_payload = self._read_metadata_block(self._index_handle)
         self._fence_pointers = decode_index_block(index_payload)
         self._fence_keys = [key for key, _ in self._fence_pointers]
+        # offset -> (payload, entries); valid only while the block cache
+        # still returns the identical payload object (see _decode_data_block).
+        self._decoded_blocks: OrderedDict[int, tuple[bytes, list]] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Block access
@@ -277,8 +286,27 @@ class SSTReader:
         return None
 
     def _decode_data_block(self, block_index: int) -> list[tuple[bytes, int, bytes]]:
+        """Fetch and parse one data block, memoizing the parsed entries.
+
+        The memo key is the *identity* of the payload ``_read_block``
+        returns: a block-cache hit hands back the same bytes object, so the
+        varint parse is skipped; a device read (cache miss, eviction, or
+        cache disabled) produces a fresh object and re-decodes.  Cache-hit /
+        device-read accounting is therefore untouched — only the redundant
+        re-parse of an already-resident block is elided.
+        """
         _, handle = self._fence_pointers[block_index]
-        return decode_data_block(self._read_block(handle))
+        payload = self._read_block(handle)
+        memo = self._decoded_blocks.get(handle.offset)
+        if memo is not None and memo[0] is payload:
+            self._decoded_blocks.move_to_end(handle.offset)
+            return memo[1]
+        entries = decode_data_block(payload)
+        self._decoded_blocks[handle.offset] = (payload, entries)
+        self._decoded_blocks.move_to_end(handle.offset)
+        if len(self._decoded_blocks) > _MAX_DECODED_BLOCKS:
+            self._decoded_blocks.popitem(last=False)
+        return entries
 
     # ------------------------------------------------------------------
     # Iteration (the two-level iterator)

@@ -46,13 +46,16 @@ class PerfStats:
 
     # --- Filter verdicts ---
     filter_probes: int = 0
-    filter_batch_probes: int = 0  # bulk frontier sweeps spanning several runs
+    # Bulk filter invocations: multi-run frontier sweeps on the range path
+    # plus per-run point batches on the multi_get path share this counter.
+    filter_batch_probes: int = 0
     filter_negatives: int = 0
     filter_true_positives: int = 0
     filter_false_positives: int = 0
 
     # --- Query counts ---
-    point_queries: int = 0
+    point_queries: int = 0  # distinct lookups, whether scalar or batched
+    multi_point_queries: int = 0  # batched multi_get operations
     range_queries: int = 0
     writes: int = 0
 

@@ -133,6 +133,26 @@ class TestVectorizedPaths:
         for i, p in enumerate(probes):
             assert bulk[i] == bf.may_contain(int(p))
 
+    def test_contains_batch_matches_scalar_probe(self):
+        keys = list(range(0, 300, 3))
+        bf = BloomFilter.from_keys_and_bits(keys, num_bits=4096)
+        probes = np.arange(400, dtype=np.uint64)
+        verdicts = bf.contains_batch(probes)
+        for i, p in enumerate(probes):
+            assert verdicts[i] == bf.may_contain(int(p))
+
+    def test_contains_batch_duplicates_and_empty(self):
+        bf = BloomFilter.from_keys_and_bits(range(50), num_bits=2048)
+        dup = np.asarray([7, 7, 7, 9999, 7, 9999], dtype=np.uint64)
+        verdicts = bf.contains_batch(dup)
+        assert list(verdicts) == [bf.may_contain(int(v)) for v in dup]
+        assert len(bf.contains_batch(np.zeros(0, dtype=np.uint64))) == 0
+
+    def test_contains_batch_always_positive_filter(self):
+        bf = BloomFilter(0, 1)  # zero bits -> degenerate always-positive
+        assert bf.is_always_positive
+        assert bf.contains_batch(np.arange(5, dtype=np.uint64)).all()
+
     def test_bulk_ops_on_64bit_extremes(self):
         keys = np.asarray([0, 2**63, 2**64 - 1], dtype=np.uint64)
         bf = BloomFilter(1024, 3)

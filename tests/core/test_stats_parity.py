@@ -1,0 +1,156 @@
+"""Scalar/batch accounting parity and range-validation edge cases.
+
+Regression suite for two paper-fidelity bugs:
+
+* A batch holding a single (live) query used to charge the bulk frontier's
+  level-synchronous probe counts (8 probes / 2 intervals for ``[8, 12]`` on
+  the Fig. 2 example) where the scalar path charged the sequential
+  recursion's (3 / 1).  ``ProbeStats`` must not depend on which entry point
+  issued a query.
+* The engine internally skips queries whose clamped range is empty
+  (``low > high``).  That skip must never leak out as a silent ``False``
+  for *publicly inverted* ranges — every entry point raises
+  :exc:`FilterQueryError` first.
+"""
+
+import pytest
+
+from repro.core.allocation import STRATEGIES
+from repro.core.rosetta import Rosetta
+from repro.errors import FilterQueryError
+from repro.filters.rosetta_adapter import RosettaFilter
+
+TINY_KEYS = [3, 6, 7, 8, 9, 11]  # the paper's running example (Fig. 2)
+
+
+def _tiny():
+    return Rosetta.build(
+        TINY_KEYS, key_bits=4, bits_per_key=24.0, max_range=8
+    )
+
+
+def _charges(rosetta, issue):
+    """(verdict, bloom_probes, dyadic_intervals) deltas for one query."""
+    probes, intervals = rosetta.stats.bloom_probes, rosetta.stats.dyadic_intervals
+    verdict = issue(rosetta)
+    return (
+        verdict,
+        rosetta.stats.bloom_probes - probes,
+        rosetta.stats.dyadic_intervals - intervals,
+    )
+
+
+class TestSingleQueryParity:
+    def test_tiny_example_pinned_charges(self):
+        """[8, 12] on Fig. 2: 1 dyadic interval, 3 probes, on every path."""
+        scalar = _charges(_tiny(), lambda r: r.may_contain_range(8, 12))
+        recursive = _charges(
+            _tiny(), lambda r: r.may_contain_range_recursive(8, 12)
+        )
+        batch = _charges(
+            _tiny(), lambda r: bool(r.may_contain_range_batch([8], [12])[0])
+        )
+        assert scalar == recursive == batch == (True, 3, 1)
+
+    def test_true_batches_keep_bulk_accounting(self):
+        """Two live queries charge deduped frontier probes, not a replay."""
+        first = _charges(_tiny(), lambda r: r.may_contain_range(8, 12))
+        second = _charges(_tiny(), lambda r: r.may_contain_range(3, 7))
+        rosetta = _tiny()
+        verdicts = rosetta.may_contain_range_batch([8, 3], [12, 7])
+        assert [bool(v) for v in verdicts] == [first[0], second[0]]
+        # Bulk accounting: the level-synchronous frontier probes every
+        # level's survivors (no per-interval early exit), so its charges
+        # differ from the two sequential recursions' sum.
+        scalar_probes = first[1] + second[1]
+        scalar_intervals = first[2] + second[2]
+        assert (rosetta.stats.bloom_probes, rosetta.stats.dyadic_intervals) != (
+            scalar_probes,
+            scalar_intervals,
+        )
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_random_single_query_parity(self, strategy, rng, small_keys):
+        rosetta = Rosetta.build(
+            small_keys,
+            key_bits=32,
+            bits_per_key=14.0,
+            max_range=64,
+            strategy=strategy,
+        )
+        batch = Rosetta.from_bytes(rosetta.to_bytes())
+        for _ in range(50):
+            low = rng.randrange((1 << 32) - 64)
+            high = low + rng.randrange(64)
+            want = _charges(
+                rosetta, lambda r: r.may_contain_range(low, high)
+            )
+            got = _charges(
+                batch,
+                lambda r: bool(r.may_contain_range_batch([low], [high])[0]),
+            )
+            assert got == want, (low, high)
+
+    def test_batch_of_one_dead_query_among_live(self, small_keys):
+        """Domain clamping may kill all but one query; parity still holds."""
+        rosetta = Rosetta.build(
+            small_keys, key_bits=32, bits_per_key=14.0, max_range=64
+        )
+        beyond = 1 << 40  # clamps to an empty range, skipped internally
+        scalar = _charges(
+            rosetta, lambda r: r.may_contain_range(small_keys[0], small_keys[0])
+        )
+        batched = _charges(
+            rosetta,
+            lambda r: r.may_contain_range_batch(
+                [small_keys[0], beyond], [small_keys[0], beyond]
+            ),
+        )
+        assert batched[0][0] and not batched[0][1]
+        assert batched[1:] == scalar[1:]
+
+
+class TestRangeValidation:
+    """Inverted ranges raise; boundary ranges answer soundly."""
+
+    def test_inverted_range_raises_everywhere(self):
+        rosetta = _tiny()
+        adapter = RosettaFilter(key_bits=4, bits_per_key=24.0, max_range=8)
+        adapter.populate(TINY_KEYS)
+        entry_points = [
+            lambda: rosetta.may_contain_range(9, 5),
+            lambda: rosetta.may_contain_range_recursive(9, 5),
+            lambda: rosetta.tightened_range(9, 5),
+            lambda: rosetta.tightened_range_recursive(9, 5),
+            lambda: rosetta.may_contain_range_batch([9], [5]),
+            lambda: adapter.may_contain_range(9, 5),
+            lambda: adapter.tightened_range(9, 5),
+            lambda: adapter.may_contain_range_batch([9], [5]),
+        ]
+        for issue in entry_points:
+            with pytest.raises(FilterQueryError):
+                issue()
+
+    def test_inverted_pair_inside_live_batch_raises(self):
+        """One bad pair poisons the whole batch — never a silent False."""
+        rosetta = _tiny()
+        with pytest.raises(FilterQueryError):
+            rosetta.may_contain_range_batch([8, 9, 3], [12, 5, 7])
+
+    def test_single_key_range(self):
+        rosetta = _tiny()
+        for key in TINY_KEYS:
+            assert rosetta.may_contain_range(key, key)
+            assert rosetta.may_contain_range_batch([key], [key])[0]
+        # 5 is absent from the example keys and 4 is a dyadic boundary.
+        assert not rosetta.may_contain_range(5, 5)
+        assert not rosetta.may_contain_range_batch([5], [5])[0]
+
+    def test_full_domain_range_clamps(self):
+        """Out-of-domain endpoints clamp (not raise) when low <= high."""
+        rosetta = _tiny()
+        assert rosetta.may_contain_range(0, (1 << 4) - 1)
+        assert rosetta.may_contain_range(0, 10**9)  # clamped to domain max
+        assert list(
+            rosetta.may_contain_range_batch([0], [10**9])
+        ) == [True]

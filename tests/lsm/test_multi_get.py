@@ -1,0 +1,150 @@
+"""``DB.multi_get`` equivalence with the per-key ``get`` loop.
+
+The batched point path must be observationally identical to issuing one
+``get`` per distinct key: same values, same filter verdict counters, same
+recency semantics (a newer run's value or tombstone shadows older runs).
+Only the aggregation differs — one ``multi_point`` QueryContext, duplicate
+keys resolved once.
+"""
+
+import pytest
+
+from repro.bench.factories import make_factory
+from repro.errors import FilterQueryError
+from repro.lsm.db import DB
+
+_VERDICT_FIELDS = (
+    "filter_probes",
+    "filter_negatives",
+    "filter_true_positives",
+    "filter_false_positives",
+    "point_queries",
+)
+
+
+@pytest.fixture
+def layered_db(tmp_path, small_db_options, rng):
+    """Multiple overlapping L0 runs + a live memtable, Rosetta-filtered."""
+    small_db_options.filter_factory = make_factory(
+        "rosetta", small_db_options.key_bits, 18, max_range=64
+    )
+    database = DB(str(tmp_path / "db"), small_db_options)
+    keys = rng.sample(range(1 << 28), 900)
+    for chunk_start in range(0, 600, 200):
+        for key in keys[chunk_start : chunk_start + 200]:
+            database.put(key, b"sst-%d" % key)
+        database.flush()
+    # Tombstones for some flushed keys, persisted into their own run.
+    for key in keys[:40]:
+        database.delete(key)
+    database.flush()
+    # Memtable-only state: fresh values, an overwrite, and a deletion.
+    for key in keys[600:650]:
+        database.put(key, b"mem-%d" % key)
+    database.put(keys[100], b"overwritten")
+    database.delete(keys[101])
+    yield database, keys
+    if not database._closed:  # noqa: SLF001
+        database.close()
+
+
+def _mixed_batch(keys, rng):
+    """Memtable hits, SST hits, tombstoned, absent, and duplicate keys."""
+    absent = []
+    resident = set(keys)
+    while len(absent) < 120:
+        key = rng.randrange(1 << 28)
+        if key not in resident:
+            absent.append(key)
+    batch = (
+        keys[:60]            # tombstoned (first 40) + oldest-run survivors
+        + keys[250:320]      # middle/newest runs (L0 overlap ordering)
+        + keys[600:640]      # memtable values
+        + [keys[100], keys[101]]  # memtable overwrite + memtable delete
+        + absent
+        + [keys[300], keys[300], keys[620]]  # duplicates
+    )
+    rng.shuffle(batch)
+    return batch
+
+
+def _scalar_reference(db, batch):
+    """Per-key gets over the deduplicated batch, with counter deltas."""
+    distinct = list(dict.fromkeys(batch))
+    before = db.stats.snapshot()
+    values = {key: db.get(key) for key in distinct}
+    return values, db.stats.diff(before)
+
+
+class TestEquivalence:
+    def test_values_match_per_key_gets(self, layered_db, rng):
+        db, keys = layered_db
+        batch = _mixed_batch(keys, rng)
+        # Warm the filter dictionary so both passes see deserialized filters.
+        db.multi_get(batch)
+        scalar, _ = _scalar_reference(db, batch)
+        assert db.multi_get(batch) == scalar
+
+    def test_filter_counters_match_per_key_gets(self, layered_db, rng):
+        """TP/FP/negative/probe deltas equal the scalar loop's, exactly."""
+        db, keys = layered_db
+        batch = _mixed_batch(keys, rng)
+        db.multi_get(batch)  # warm filters and block cache
+        _, scalar_delta = _scalar_reference(db, batch)
+        before = db.stats.snapshot()
+        db.multi_get(batch)
+        batch_delta = db.stats.diff(before)
+        for field in _VERDICT_FIELDS:
+            assert getattr(batch_delta, field) == getattr(scalar_delta, field), field
+        assert batch_delta.multi_point_queries == 1
+        assert batch_delta.filter_batch_probes >= 2  # one bulk probe per run
+
+    def test_recency_tombstone_shadows_older_value(self, layered_db):
+        db, keys = layered_db
+        # keys[:40] have a value in an old run and a tombstone in a newer one.
+        result = db.multi_get(keys[:40])
+        assert all(value is None for value in result.values())
+
+    def test_memtable_hits_never_reach_filters(self, layered_db):
+        db, keys = layered_db
+        before = db.stats.snapshot()
+        result = db.multi_get(keys[600:640])
+        delta = db.stats.diff(before)
+        assert result == {k: b"mem-%d" % k for k in keys[600:640]}
+        assert delta.filter_probes == 0
+        assert db.last_query.memtable_hits == 40
+
+
+class TestAggregatedContext:
+    def test_last_query_is_one_multi_point_context(self, layered_db, rng):
+        db, keys = layered_db
+        batch = _mixed_batch(keys, rng)
+        db.multi_get(batch)
+        ctx = db.last_query
+        assert ctx.kind == "multi_point"
+        assert ctx.keys_requested == len(batch)
+        assert ctx.distinct_keys == len(set(batch))
+        assert ctx.low == min(batch) and ctx.high == max(batch)
+        assert ctx.runs_considered >= 2
+        assert "multi_point" in ctx.summary()
+
+    def test_duplicates_resolved_once(self, layered_db):
+        db, keys = layered_db
+        before = db.stats.snapshot()
+        result = db.multi_get([keys[250], keys[250], keys[250], keys[601]])
+        delta = db.stats.diff(before)
+        assert set(result) == {keys[250], keys[601]}
+        assert delta.point_queries == 2  # distinct lookups, not requests
+        assert db.last_query.keys_requested == 4
+        assert db.last_query.distinct_keys == 2
+
+    def test_empty_batch(self, layered_db):
+        db, _ = layered_db
+        sentinel = db.last_query
+        assert db.multi_get([]) == {}
+        assert db.last_query is sentinel  # no context churn for a no-op
+
+    def test_out_of_domain_key_rejected(self, layered_db):
+        db, keys = layered_db
+        with pytest.raises(FilterQueryError):
+            db.multi_get([keys[0], 1 << db.options.key_bits])
