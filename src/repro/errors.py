@@ -52,6 +52,34 @@ class ClosedStoreError(StoreError):
     """An operation was attempted on a store that has been closed."""
 
 
+class TransientIOError(StoreError):
+    """A block read failed transiently; retrying the same read may succeed.
+
+    Raised by fault-injecting storage environments (and reserved for real
+    backends with retryable errors).  The storage layer's bounded
+    retry-with-backoff policy retries exactly this class — permanent
+    failures (``OSError``, :class:`CorruptionError`) are never retried.
+    """
+
+
+class ReadOnlyStoreError(StoreError):
+    """A write was attempted while the store is in degraded read-only mode.
+
+    A failed background flush/compaction write parks the DB here instead of
+    crashing; reads keep working, and :meth:`DB.resume` re-arms writes.
+    """
+
+
+class PowerCutError(StoreError):
+    """A simulated power cut interrupted an I/O operation mid-flight.
+
+    Only :class:`repro.lsm.faults.FaultInjectionEnv` raises this; it must
+    propagate to the crash harness untouched (never swallowed into the
+    background-error state machine), because everything after it models a
+    machine that no longer exists.
+    """
+
+
 class CompactionError(StoreError):
     """A background compaction failed."""
 

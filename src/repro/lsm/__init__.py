@@ -7,8 +7,9 @@ importable individually for tests and benchmarks.
 """
 
 from repro.lsm.block_cache import BlockCache
-from repro.lsm.db import DB
+from repro.lsm.db import DB, HealthReport
 from repro.lsm.env import DEVICE_PRESETS, DeviceModel, StorageEnv
+from repro.lsm.faults import FaultInjectionEnv
 from repro.lsm.memtable import MemTable
 from repro.lsm.options import DBOptions
 from repro.lsm.perf_context import QueryContext
@@ -24,6 +25,8 @@ __all__ = [
     "DBOptions",
     "DEVICE_PRESETS",
     "DeviceModel",
+    "FaultInjectionEnv",
+    "HealthReport",
     "MemTable",
     "PerfStats",
     "QueryContext",

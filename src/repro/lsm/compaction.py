@@ -18,7 +18,6 @@ by the configured factory (charged to the Fig. 6 construction counters).
 
 from __future__ import annotations
 
-import itertools
 import time
 from typing import Callable, Iterable
 
@@ -45,18 +44,32 @@ class Compactor:
         cache: BlockCache,
         filter_dictionary: FilterDictionary,
         filter_factory_provider: Callable[[], FilterFactory | None] | None = None,
+        on_version_change: Callable[[], None] | None = None,
     ) -> None:
         self._env = env
         self._options = options
         self._cache = cache
         self._filter_dictionary = filter_dictionary
-        self._file_counter = itertools.count(1)
-        self._group_counter = itertools.count(1)
+        self._next_file_number = 1
+        self._next_group_id = 1
         # The auto-tuner can swap the factory between compactions (§2.4);
         # resolve it lazily at each compaction.
         self._filter_factory_provider = filter_factory_provider or (
             lambda: options.filter_factory
         )
+        # Crash-safe GC ordering: the owner persists the manifest here
+        # *after* outputs are installed and *before* inputs are deleted, so
+        # a crash in between leaves a manifest whose files all still exist
+        # (orphaned outputs or inputs are cleaned up on the next recovery).
+        self._on_version_change = on_version_change or (lambda: None)
+
+    def advance_file_number(self, past: int) -> None:
+        """Never emit a file number <= ``past`` (recovery collision guard)."""
+        self._next_file_number = max(self._next_file_number, past + 1)
+
+    def advance_group_id(self, past: int) -> None:
+        """Never emit a group id <= ``past`` (recovery collision guard)."""
+        self._next_group_id = max(self._next_group_id, past + 1)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -103,6 +116,7 @@ class Compactor:
                 inputs = version.level_runs(0)
                 self._tiered_merge(version, inputs, target=1)
                 version.clear_level0()
+                self._on_version_change()
                 self._destroy_runs(inputs)
                 performed += 1
                 continue
@@ -118,6 +132,7 @@ class Compactor:
                 inputs = version.level_runs(overfull)
                 self._tiered_merge(version, inputs, target=overfull + 1)
                 version.levels[overfull] = []
+                self._on_version_change()
                 self._destroy_runs(inputs)
                 performed += 1
                 continue
@@ -137,7 +152,8 @@ class Compactor:
         outputs = self._merge_and_write(
             inputs, output_level=target, drop_tombstones=bottom
         )
-        group_id = next(self._group_counter)
+        group_id = self._next_group_id
+        self._next_group_id += 1
         for run in outputs:
             run.group_id = group_id
         version.prepend_group(target, outputs)
@@ -160,6 +176,7 @@ class Compactor:
         outputs = self._merge_and_write(inputs, output_level=1, drop_tombstones=bottom)
         version.clear_level0()
         version.install_level(1, outputs)
+        self._on_version_change()
         self._destroy_runs(inputs)
 
     def _compact_level(self, version: Version, level: int) -> None:
@@ -172,6 +189,7 @@ class Compactor:
         )
         version.install_level(level, [])
         version.install_level(level + 1, outputs)
+        self._on_version_change()
         self._destroy_runs(inputs)
 
     # ------------------------------------------------------------------
@@ -213,8 +231,12 @@ class Compactor:
     def _new_writer(
         self, output_level: int, factory: FilterFactory | None
     ) -> SSTWriter:
-        name = f"sst_{output_level}_{next(self._file_counter):08d}.sst"
-        return SSTWriter(self._env, name, self._options, filter_factory=factory)
+        return SSTWriter(
+            self._env,
+            self.next_file_name(output_level),
+            self._options,
+            filter_factory=factory,
+        )
 
     def _finish_writer(self, writer: SSTWriter, output_level: int) -> Run:
         meta = writer.finish()
@@ -231,5 +253,7 @@ class Compactor:
             self._env.delete_file(run.name)
 
     def next_file_name(self, level: int) -> str:
-        """Allocate a fresh SST file name (used by flush)."""
-        return f"sst_{level}_{next(self._file_counter):08d}.sst"
+        """Allocate a fresh SST file name (used by flush and compaction)."""
+        number = self._next_file_number
+        self._next_file_number += 1
+        return f"sst_{level}_{number:08d}.sst"

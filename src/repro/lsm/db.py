@@ -22,10 +22,19 @@ filter instances adopt the workload-optimal configuration.
 from __future__ import annotations
 
 import json
+import re
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.tuning import AutoTuner, TuningDecision, WorkloadTracker
-from repro.errors import ClosedStoreError, FilterQueryError, StoreError
+from repro.errors import (
+    ClosedStoreError,
+    FilterQueryError,
+    PowerCutError,
+    ReadOnlyStoreError,
+    ReproError,
+    StoreError,
+)
 from repro.filters.base import FilterFactory, KeyFilter
 from repro.filters.rosetta_adapter import RosettaFilter
 from repro.lsm.block_cache import BlockCache
@@ -49,7 +58,50 @@ from repro.lsm.write_batch import WriteBatch
 
 _MANIFEST = "MANIFEST.json"
 
-__all__ = ["DB"]
+_SST_NAME = re.compile(r"^sst_(\d+)_(\d+)\.sst$")
+
+__all__ = ["DB", "HealthReport"]
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Snapshot of the store's fault state (``DB.health()``).
+
+    ``mode`` is ``"healthy"`` or ``"degraded"``; degraded means a
+    background flush/compaction failed, writes raise
+    :class:`~repro.errors.ReadOnlyStoreError`, and :meth:`DB.resume` is the
+    way back.  The counters mirror the fault-handling fields of
+    :class:`~repro.lsm.stats.PerfStats` so an operator sees every injected
+    or real fault the store absorbed.
+    """
+
+    mode: str
+    background_error: str | None
+    degraded_filters: tuple[str, ...]
+    io_transient_errors: int
+    io_retries: int
+    filters_degraded: int
+    background_errors: int
+
+    @property
+    def ok(self) -> bool:
+        """True when fully healthy (no degraded state of any kind)."""
+        return self.mode == "healthy" and not self.degraded_filters
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        parts = [f"mode={self.mode}"]
+        if self.background_error:
+            parts.append(f"background_error={self.background_error!r}")
+        if self.degraded_filters:
+            parts.append(
+                f"degraded_filters=[{', '.join(self.degraded_filters)}]"
+            )
+        parts.append(
+            f"io: {self.io_transient_errors} transient errors, "
+            f"{self.io_retries} retries"
+        )
+        return "; ".join(parts)
 
 
 class DB:
@@ -72,10 +124,14 @@ class DB:
         self.options.validate()
         self.stats = PerfStats()
         self.tracker = WorkloadTracker()
-        self._env = StorageEnv(path, self.options.device, self.stats)
+        env_factory = self.options.env_factory or StorageEnv
+        self._env = env_factory(path, self.options.device, self.stats)
+        self._env.retry_attempts = self.options.io_retry_attempts
+        self._env.retry_backoff_ns = self.options.io_retry_backoff_ns
         self._cache = BlockCache(self.options.block_cache_bytes)
         self._filter_dictionary = FilterDictionary(
-            enabled=self.options.use_filter_dictionary
+            enabled=self.options.use_filter_dictionary,
+            degrade_corrupt=self.options.degrade_corrupt_filters,
         )
         self._current_filter_factory = self.options.filter_factory
         self._compactor = Compactor(
@@ -84,11 +140,19 @@ class DB:
             self._cache,
             self._filter_dictionary,
             filter_factory_provider=lambda: self._current_filter_factory,
+            on_version_change=self._write_manifest,
         )
         self._version = Version()
         self._memtable = MemTable()
-        self._wal = WriteAheadLog(self._env) if self.options.use_wal else None
+        self._wal = (
+            WriteAheadLog(self._env, sync=self.options.wal_sync)
+            if self.options.use_wal
+            else None
+        )
         self._closed = False
+        #: Description of the background failure that degraded the store
+        #: to read-only, or None when healthy (see :meth:`health`).
+        self._background_error: str | None = None
         #: Per-query performance context of the most recent read operation.
         self.last_query: QueryContext | None = None
         self._recover()
@@ -114,6 +178,7 @@ class DB:
     def put(self, key: int, value: bytes) -> None:
         """Insert or overwrite a key."""
         self._check_open()
+        self._check_writable()
         encoded = self._encode_key(key)
         if self._wal is not None:
             self._wal.append_put(encoded, value)
@@ -124,6 +189,7 @@ class DB:
     def delete(self, key: int) -> None:
         """Delete a key (writes a tombstone)."""
         self._check_open()
+        self._check_writable()
         encoded = self._encode_key(key)
         if self._wal is not None:
             self._wal.append_delete(encoded)
@@ -143,6 +209,7 @@ class DB:
         memtable, so recovery sees all of it or none of it.
         """
         self._check_open()
+        self._check_writable()
         if len(batch) == 0:
             return
         # Validate every key before any side effect (atomicity).
@@ -190,8 +257,22 @@ class DB:
             self.flush()
 
     def flush(self) -> None:
-        """Flush the memtable to a new L0 SST file and run compactions."""
+        """Flush the memtable to a new L0 SST file and run compactions.
+
+        A failing background write does not raise: the store enters
+        degraded read-only mode (see :meth:`health` / :meth:`resume`) with
+        the memtable and WAL intact, so no acknowledged write is lost.
+
+        Durability ordering: the SST is written and the manifest persisted
+        (atomically) *before* the WAL is truncated — a crash between any
+        two steps recovers either from the WAL or from the manifest, never
+        from neither.
+        """
         self._check_open()
+        self._check_writable()
+        self._run_background("flush", self._flush_body)
+
+    def _flush_body(self) -> None:
         if self._memtable.is_empty:
             return
         name = self._compactor.next_file_name(0)
@@ -206,29 +287,36 @@ class DB:
             self._env, meta, self.options, self._cache, is_level0=True
         )
         self._version.add_level0(Run(reader=reader, level=0))
+        self._write_manifest()
+        # Only now is the run durable under the manifest; dropping the
+        # buffered copies can no longer lose acknowledged writes.
         self._memtable = MemTable()
         if self._wal is not None:
             self._wal.truncate()
         self.stats.flushes += 1
         self._compactor.maybe_compact(self._version)
-        self._write_manifest()
 
     def compact(self) -> None:
         """Force L0 into the tree and settle all compaction triggers."""
         self._check_open()
-        self.flush()
+        self._check_writable()
+        if not self._run_background("flush", self._flush_body):
+            return
         if self._version.level0:
-            if self.options.compaction_style == "tiered":
-                inputs = self._version.level_runs(0)
-                self._compactor._tiered_merge(  # noqa: SLF001
-                    self._version, inputs, target=1
-                )
-                self._version.clear_level0()
-                self._compactor._destroy_runs(inputs)  # noqa: SLF001
-            else:
-                self._compactor._compact_level0(self._version)  # noqa: SLF001
-            self._compactor.maybe_compact(self._version)
+            self._run_background("compaction", self._compact_body)
+
+    def _compact_body(self) -> None:
+        if self.options.compaction_style == "tiered":
+            inputs = self._version.level_runs(0)
+            self._compactor._tiered_merge(  # noqa: SLF001
+                self._version, inputs, target=1
+            )
+            self._version.clear_level0()
             self._write_manifest()
+            self._compactor._destroy_runs(inputs)  # noqa: SLF001
+        else:
+            self._compactor._compact_level0(self._version)  # noqa: SLF001
+        self._compactor.maybe_compact(self._version)
 
     def force_full_compaction(self) -> None:
         """Merge every run into the bottom-most populated level.
@@ -239,7 +327,12 @@ class DB:
         all existing data.
         """
         self._check_open()
-        self.flush()
+        self._check_writable()
+        if not self._run_background("flush", self._flush_body):
+            return
+        self._run_background("compaction", self._full_compaction_body)
+
+    def _full_compaction_body(self) -> None:
         inputs = self._version.all_runs_newest_first()
         if not inputs:
             return
@@ -251,8 +344,66 @@ class DB:
         for level in list(self._version.levels):
             self._version.install_level(level, [])
         self._version.install_level(target, outputs)
-        self._compactor._destroy_runs(inputs)  # noqa: SLF001
         self._write_manifest()
+        self._compactor._destroy_runs(inputs)  # noqa: SLF001
+
+    # ------------------------------------------------------------------
+    # Background-error state machine
+    # ------------------------------------------------------------------
+    def _run_background(self, op: str, body: Callable[[], None]) -> bool:
+        """Run a background write; on failure degrade instead of crashing.
+
+        Simulated power cuts and closed-store misuse propagate untouched —
+        only genuine I/O / store errors park the DB in read-only mode.
+        Returns True when the body completed.
+        """
+        try:
+            body()
+            return True
+        except (PowerCutError, ClosedStoreError):
+            raise
+        except (OSError, ReproError) as exc:
+            self._enter_background_error(op, exc)
+            return False
+
+    def _enter_background_error(self, op: str, exc: BaseException) -> None:
+        self._background_error = f"{op}: {type(exc).__name__}: {exc}"
+        self.stats.background_errors += 1
+
+    def _check_writable(self) -> None:
+        if self._background_error is not None:
+            raise ReadOnlyStoreError(
+                f"store is in degraded read-only mode after a background "
+                f"error ({self._background_error}); call resume() to retry"
+            )
+
+    def health(self) -> HealthReport:
+        """The store's current fault state (always readable, never raises)."""
+        return HealthReport(
+            mode="degraded" if self._background_error is not None else "healthy",
+            background_error=self._background_error,
+            degraded_filters=tuple(sorted(self._filter_dictionary.degraded)),
+            io_transient_errors=self.stats.io_transient_errors,
+            io_retries=self.stats.io_retries,
+            filters_degraded=self.stats.filters_degraded,
+            background_errors=self.stats.background_errors,
+        )
+
+    def resume(self) -> bool:
+        """Leave degraded read-only mode and retry the pending flush.
+
+        Mirrors RocksDB's ``DB::Resume``: clears the background error and
+        re-attempts flushing whatever the failed background write left
+        buffered.  Returns True when the store is writable again (a fresh
+        failure re-enters degraded mode and returns False).
+        """
+        self._check_open()
+        if self._background_error is None:
+            return True
+        self._background_error = None
+        if not self._memtable.is_empty:
+            self._run_background("flush", self._flush_body)
+        return self._background_error is None
 
     # ------------------------------------------------------------------
     # Bulk load
@@ -266,6 +417,7 @@ class DB:
         size target fits the data.
         """
         self._check_open()
+        self._check_writable()
         pairs = sorted(items, key=lambda kv: kv[0])
         if not pairs:
             return
@@ -753,14 +905,28 @@ class DB:
             # keep learning across sessions.
             "tracker": self.tracker.to_dict(),
         }
-        self._env.write_file(_MANIFEST, json.dumps(manifest).encode())
+        # Atomic replacement: a crash mid-write leaves the previous
+        # manifest intact, never a torn half-JSON.
+        self._env.write_file_atomic(
+            _MANIFEST,
+            json.dumps(manifest).encode(),
+            fsync=self.options.manifest_fsync,
+        )
 
     def _recover(self) -> None:
+        referenced: set[str] = set()
+        max_file_number = 0
+        max_group_id = 0
+        for file_name in self._env.list_files():
+            match = _SST_NAME.match(file_name)
+            if match:
+                max_file_number = max(max_file_number, int(match.group(2)))
         if self._env.exists(_MANIFEST):
             manifest = json.loads(self._env.read_file(_MANIFEST))
             if "tracker" in manifest:
                 self.tracker = WorkloadTracker.from_dict(manifest["tracker"])
             for name in manifest.get("level0", []):
+                referenced.add(name)
                 meta = self._read_meta(name)
                 reader = SSTReader(
                     self._env, meta, self.options, self._cache, is_level0=True
@@ -771,6 +937,8 @@ class DB:
                 runs = []
                 for entry in entries:
                     name, group_id = entry
+                    referenced.add(name)
+                    max_group_id = max(max_group_id, int(group_id or 0))
                     meta = self._read_meta(name)
                     reader = SSTReader(
                         self._env, meta, self.options, self._cache, is_level0=False
@@ -780,6 +948,18 @@ class DB:
                     # Preserve manifest (recency) order verbatim; tiered
                     # levels legitimately hold overlapping groups.
                     self._version.levels[level] = runs
+        # Recovery hygiene.  (1) Never reuse a live file name: a fresh
+        # counter colliding with a recovered SST would let a later
+        # compaction overwrite or delete live data.  (2) Purge obsolete
+        # files — SSTs a crash orphaned before/after their manifest entry,
+        # and torn ``.tmp`` halves of interrupted atomic replacements.
+        self._compactor.advance_file_number(max_file_number)
+        self._compactor.advance_group_id(max_group_id)
+        for file_name in self._env.list_files():
+            if file_name.endswith(".tmp") or (
+                _SST_NAME.match(file_name) and file_name not in referenced
+            ):
+                self._env.delete_file(file_name)
         if self._wal is not None:
             for op, key, value in self._wal.replay():
                 if op == BATCH_OP:
@@ -815,13 +995,27 @@ class DB:
         )
 
     def close(self) -> None:
-        """Flush, persist the manifest, and release file handles."""
+        """Flush if possible, persist the manifest, release file handles.
+
+        Safe in degraded read-only mode: the failing flush is skipped (the
+        WAL still holds the buffered writes), the manifest is persisted
+        best-effort, and nothing raises — so ``with DB(...)`` never throws
+        from ``__exit__`` because a background write failed earlier.
+        """
         if self._closed:
             return
-        self.flush()
-        self._write_manifest()
-        self._env.close()
-        self._closed = True
+        try:
+            if self._background_error is None:
+                self._run_background("flush", self._flush_body)
+            try:
+                self._write_manifest()
+            except PowerCutError:
+                raise
+            except (OSError, ReproError):
+                pass  # best-effort; the last durable manifest still stands
+        finally:
+            self._env.close()
+            self._closed = True
 
     def _check_open(self) -> None:
         if self._closed:

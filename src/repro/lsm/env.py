@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import BinaryIO
+from typing import BinaryIO, Callable
 
+from repro.errors import TransientIOError
 from repro.lsm.stats import PerfStats
 
 __all__ = ["DeviceModel", "StorageEnv", "DEVICE_PRESETS"]
@@ -112,6 +113,13 @@ class StorageEnv:
         self.device = device
         self.root = root
         self.stats = stats if stats is not None else PerfStats()
+        #: Bounded retry policy for *transient* read errors: how many extra
+        #: attempts one block read gets, and the (modeled, exponential)
+        #: backoff charged per retry.  The DB wires these from
+        #: ``DBOptions.io_retry_attempts`` / ``io_retry_backoff_ns``; a bare
+        #: env retries nothing.
+        self.retry_attempts = 0
+        self.retry_backoff_ns = 0
         os.makedirs(root, exist_ok=True)
         self._handles: dict[str, BinaryIO] = {}
 
@@ -137,20 +145,59 @@ class StorageEnv:
     # ------------------------------------------------------------------
     # I/O
     # ------------------------------------------------------------------
-    def write_file(self, name: str, payload: bytes) -> None:
-        """Write a whole immutable file (SSTs are written once)."""
+    def write_file(self, name: str, payload: bytes, sync: bool = True) -> None:
+        """Write a whole immutable file (SSTs are written once).
+
+        ``sync=True`` marks the file durable at completion — the boundary a
+        fault-injecting env uses to decide what a power cut may destroy.
+        """
         with open(self.path(name), "wb") as handle:
             handle.write(payload)
         self.stats.bytes_written += len(payload)
 
+    def write_file_atomic(
+        self, name: str, payload: bytes, fsync: bool = False
+    ) -> None:
+        """All-or-nothing file replacement (manifest writes).
+
+        Writes ``name + ".tmp"``, flushes (optionally fsyncs), then
+        ``os.replace``s it over the target, so a crash at any point leaves
+        either the old file or the new one — never a torn mixture.
+        """
+        tmp = self.path(name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.path(name))
+        self.stats.bytes_written += len(payload)
+
     def append_file(self, name: str, payload: bytes) -> None:
-        """Append to a log file (WAL)."""
+        """Append to a log file (WAL); durable only after :meth:`sync_file`."""
         with open(self.path(name), "ab") as handle:
             handle.write(payload)
         self.stats.bytes_written += len(payload)
 
+    def sync_file(self, name: str) -> None:
+        """Durability barrier: appended bytes survive a power cut after this.
+
+        The base env leaves durability to the OS (benchmarks don't fsync);
+        the hook exists so :class:`~repro.lsm.faults.FaultInjectionEnv` can
+        track exactly which suffix of a log a crash is allowed to destroy.
+        """
+
     def read_block(self, name: str, offset: int, size: int) -> bytes:
         """Random block read, charged at device latency.
+
+        Transient failures (:class:`~repro.errors.TransientIOError`) are
+        retried up to ``retry_attempts`` times with modeled exponential
+        backoff; permanent errors propagate immediately.
+        """
+        return self._retry_read(lambda: self._read_block_once(name, offset, size))
+
+    def _read_block_once(self, name: str, offset: int, size: int) -> bytes:
+        """One unretried block read (the fault-injection override point).
 
         Handles are opened unbuffered: the block cache is the only caching
         layer, so every miss genuinely touches the file — which keeps the
@@ -170,12 +217,30 @@ class StorageEnv:
 
     def read_file(self, name: str) -> bytes:
         """Read a whole file (recovery paths), charged as one big read."""
+        return self._retry_read(lambda: self._read_file_once(name))
+
+    def _read_file_once(self, name: str) -> bytes:
         with open(self.path(name), "rb") as handle:
             payload = handle.read()
         self.stats.block_reads += 1
         self.stats.block_read_bytes += len(payload)
         self.stats.block_read_time_ns += self.device.block_read_ns(len(payload))
         return payload
+
+    def _retry_read(self, op: Callable[[], bytes]) -> bytes:
+        attempt = 0
+        while True:
+            try:
+                return op()
+            except TransientIOError:
+                self.stats.io_transient_errors += 1
+                if attempt >= self.retry_attempts:
+                    raise
+                self.stats.io_retries += 1
+                # Modeled backoff (no real sleep): doubles per attempt and
+                # lands in the same bucket as device latency.
+                self.stats.block_read_time_ns += self.retry_backoff_ns << attempt
+                attempt += 1
 
     def delete_file(self, name: str) -> None:
         """Remove a file (post-compaction cleanup)."""

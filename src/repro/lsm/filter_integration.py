@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core import doubting
+from repro.errors import SerializationError
 from repro.filters.base import KeyFilter, deserialize_filter
 from repro.filters.rosetta_adapter import RosettaFilter
 from repro.lsm.sstable import SSTReader
@@ -34,28 +35,50 @@ __all__ = [
 
 
 class FilterDictionary:
-    """Cache of deserialized filter instances, keyed by SST file name."""
+    """Cache of deserialized filter instances, keyed by SST file name.
 
-    def __init__(self, enabled: bool = True) -> None:
+    With ``degrade_corrupt=True`` a filter envelope that fails to decode
+    (bad CRC, bad magic, truncated bytes) marks that run *filter-less*
+    instead of failing the query: the probe returns positive, the query
+    falls through to the data read — whose own per-block CRCs still guard
+    against silently wrong answers — and ``PerfStats.filters_degraded``
+    counts the run once.  Degradation is sticky for the run's lifetime;
+    compacting the run away rebuilds a fresh filter and clears the mark.
+    """
+
+    def __init__(self, enabled: bool = True, degrade_corrupt: bool = True) -> None:
         self.enabled = enabled
+        self.degrade_corrupt = degrade_corrupt
         self._filters: dict[str, KeyFilter] = {}
+        #: Runs whose envelope proved undecodable (served filter-less).
+        self.degraded: set[str] = set()
 
     def get_filter(self, reader: SSTReader, stats: PerfStats) -> KeyFilter | None:
         """Fetch (and memoize) the deserialized filter of an SST.
 
-        Returns None when the SST carries no filter block.  Fetch cost
-        (block read) and deserialization CPU are charged to ``stats``;
-        with the dictionary enabled both are paid once per run lifetime.
+        Returns None when the SST carries no filter block — or when its
+        envelope is corrupt and degradation is on.  Fetch cost (block read)
+        and deserialization CPU are charged to ``stats``; with the
+        dictionary enabled both are paid once per run lifetime.
         """
         name = reader.meta.name
+        if name in self.degraded:
+            return None
         cached = self._filters.get(name)
         if cached is not None:
             return cached
         envelope = reader.filter_block_bytes()
         if not envelope:
             return None
-        with Stopwatch(stats, "deserialize_ns"):
-            filt = deserialize_filter(envelope)
+        try:
+            with Stopwatch(stats, "deserialize_ns"):
+                filt = deserialize_filter(envelope)
+        except SerializationError:
+            if not self.degrade_corrupt:
+                raise
+            self.degraded.add(name)
+            stats.filters_degraded += 1
+            return None
         if self.enabled:
             self._filters[name] = filt
         return filt
@@ -63,6 +86,7 @@ class FilterDictionary:
     def drop_run(self, name: str) -> None:
         """Forget a run's filter (its SST was compacted away)."""
         self._filters.pop(name, None)
+        self.degraded.discard(name)
 
     def __len__(self) -> int:
         return len(self._filters)

@@ -90,8 +90,38 @@ class DBOptions:
     #: Write-ahead logging (disable for bulk loads, as in the paper's setup).
     use_wal: bool = True
 
+    #: Issue a durability barrier (:meth:`StorageEnv.sync_file`) after every
+    #: WAL append.  This is the write-acknowledgement contract the crash
+    #: harness verifies: with it on, a power cut never loses an acked write.
+    wal_sync: bool = True
+
     #: Number of entries between restart points in a data block.
     block_restart_interval: int = 16
+
+    # -- Online fault handling ------------------------------------------
+    #: Extra attempts a transiently failing block read gets before the
+    #: error propagates (0 disables retrying).
+    io_retry_attempts: int = 3
+
+    #: Modeled backoff charged per retry, doubling each attempt (charged
+    #: into ``PerfStats.block_read_time_ns``; no real sleep).
+    io_retry_backoff_ns: int = 1_000_000
+
+    #: A corrupt/undecodable filter envelope marks that run filter-less and
+    #: queries fall through to the data read (counted in
+    #: ``PerfStats.filters_degraded``) instead of raising.  Off = the old
+    #: paranoid behavior: raise ``SerializationError`` to the caller.
+    degrade_corrupt_filters: bool = True
+
+    #: fsync manifest replacements (atomicity comes from ``os.replace``
+    #: either way; fsync additionally orders it against power loss on a
+    #: real device — off by default to keep benchmarks fast).
+    manifest_fsync: bool = False
+
+    #: Storage-environment constructor ``(root, device, stats) -> StorageEnv``
+    #: (None = plain :class:`~repro.lsm.env.StorageEnv`).  The hook the
+    #: fault-injection harness uses to put a hostile device under a DB.
+    env_factory: object | None = None
 
     def validate(self) -> None:
         """Raise :class:`InvalidOptionsError` on inconsistent settings."""
@@ -118,6 +148,12 @@ class DBOptions:
                 f"compaction_style must be 'leveled' or 'tiered', "
                 f"got {self.compaction_style!r}"
             )
+        if self.io_retry_attempts < 0:
+            raise InvalidOptionsError("io_retry_attempts must be >= 0")
+        if self.io_retry_backoff_ns < 0:
+            raise InvalidOptionsError("io_retry_backoff_ns must be >= 0")
+        if self.env_factory is not None and not callable(self.env_factory):
+            raise InvalidOptionsError("env_factory must be callable or None")
 
     @property
     def key_width_bytes(self) -> int:

@@ -118,6 +118,8 @@ def repair_store(path: str, options: DBOptions | None = None) -> RepairOutcome:
         if kept:
             repaired_levels[level] = kept
     manifest["levels"] = repaired_levels
-    env.write_file(_MANIFEST, json.dumps(manifest).encode())
+    # Atomic replacement: a crash mid-repair must not leave a torn manifest
+    # on top of an already-damaged store.
+    env.write_file_atomic(_MANIFEST, json.dumps(manifest).encode())
     env.close()
     return outcome

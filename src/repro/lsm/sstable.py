@@ -180,7 +180,9 @@ class SSTWriter:
             )
         )
         payload = b"".join(parts)
-        self._env.write_file(self.name, payload)
+        # sync=True: an SST is only referenced by the manifest once fully
+        # durable — the flush/compaction install order depends on it.
+        self._env.write_file(self.name, payload, sync=True)
         return SSTMeta(
             name=self.name,
             num_entries=self._num_entries,

@@ -38,6 +38,12 @@ class PerfStats:
     block_cache_misses: int = 0
     bytes_written: int = 0
 
+    # --- Fault handling ---
+    io_transient_errors: int = 0  # TransientIOError observed (incl. retried)
+    io_retries: int = 0           # read attempts re-issued after one
+    filters_degraded: int = 0     # runs whose filter envelope was unreadable
+    background_errors: int = 0    # flush/compaction failures -> degraded mode
+
     # --- CPU sub-costs (measured wall time of the code paths) ---
     filter_probe_ns: int = 0
     serialize_ns: int = 0

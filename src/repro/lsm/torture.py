@@ -1,0 +1,401 @@
+"""Crash-recovery torture harness.
+
+The executable statement of the store's durability contract.  For one seed
+it builds a randomized schedule of ``put`` / ``delete`` / ``batch`` /
+``flush`` / ``compact`` operations, then replays that schedule once per
+*crash point*: run *k* powers the store off at the *k*-th durable I/O
+operation (see :class:`~repro.lsm.faults.FaultInjectionEnv`), applies the
+power cut, reopens the store cold, and checks it against an in-memory
+model under the WAL contract —
+
+* **no acknowledged write lost**: every operation that returned before the
+  cut is fully visible after recovery;
+* **the in-flight operation is all-or-nothing**: a torn batch never
+  applies partially, a torn WAL tail is never resurrected;
+* **no wrong reads**: no key reports a value the model never acknowledged,
+  and a full scan agrees with point lookups;
+* **recovery itself never raises**.
+
+Because crash points enumerate *every* durable operation the schedule
+performs, one seed sweeps the full matrix of "what if the power died
+here" — including mid-append torn WAL frames, between SST write and
+manifest replace, between manifest replace and WAL truncate, and between
+compaction install and input-file GC.
+
+Shared by ``tests/lsm/test_crash_recovery.py`` (small matrix, runs in CI's
+tier-1 suite) and ``benchmarks/torture.py`` (the full seed matrix).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+from dataclasses import dataclass, field
+
+from repro.errors import PowerCutError
+from repro.filters.base import FilterFactory
+from repro.filters.rosetta_adapter import RosettaFilter
+from repro.lsm.db import DB
+from repro.lsm.faults import FaultInjectionEnv
+from repro.lsm.options import DBOptions
+
+__all__ = [
+    "TortureConfig",
+    "CrashPointResult",
+    "SeedReport",
+    "build_schedule",
+    "run_crash_point",
+    "torture_seed",
+    "transient_fault_equivalence",
+    "torture_options",
+]
+
+
+@dataclass(frozen=True)
+class TortureConfig:
+    """Shape of one torture workload (kept tiny so crash sweeps stay fast)."""
+
+    num_ops: int = 36
+    key_space: int = 96
+    batch_max: int = 5
+    value_repeat: int = 3          # value payload size multiplier
+    compaction_style: str = "leveled"
+    with_filters: bool = True
+    io_retry_attempts: int = 6     # generous: rate-injected runs must finish
+
+
+def torture_options(
+    config: TortureConfig, env_factory=None, transient_rate: float = 0.0
+) -> DBOptions:
+    """A deliberately tiny store: every schedule crosses flush/compaction."""
+    factory = None
+    if config.with_filters:
+        def build(keys):
+            filt = RosettaFilter(key_bits=32, bits_per_key=14.0, max_range=32)
+            filt.populate(keys)
+            return filt
+
+        factory = FilterFactory(
+            name="rosetta-torture", builder=build, bits_per_key=14.0
+        )
+    return DBOptions(
+        key_bits=32,
+        memtable_size_bytes=1024,
+        sst_size_bytes=4096,
+        block_size_bytes=512,
+        block_cache_bytes=0,  # every read touches the (possibly hostile) device
+        level0_file_num_compaction_trigger=2,
+        max_bytes_for_level_base=8192,
+        compaction_style=config.compaction_style,
+        filter_factory=factory,
+        io_retry_attempts=config.io_retry_attempts,
+        env_factory=env_factory,
+    )
+
+
+def build_schedule(seed: int, config: TortureConfig) -> list[tuple]:
+    """Deterministic op list; values are unique per (seed, op index)."""
+    rng = random.Random(seed)
+    ops: list[tuple] = []
+    for index in range(config.num_ops):
+        value = f"s{seed}o{index}".encode() * config.value_repeat
+        draw = rng.random()
+        if draw < 0.55:
+            ops.append(("put", rng.randrange(config.key_space), value))
+        elif draw < 0.72:
+            ops.append(("delete", rng.randrange(config.key_space)))
+        elif draw < 0.88:
+            keys = rng.sample(
+                range(config.key_space), rng.randint(1, config.batch_max)
+            )
+            items = tuple(
+                (
+                    ("delete", key, None)
+                    if rng.random() < 0.3
+                    else ("put", key, value + b"#%d" % position)
+                )
+                for position, key in enumerate(keys)
+            )
+            ops.append(("batch", items))
+        elif draw < 0.96:
+            ops.append(("flush",))
+        else:
+            ops.append(("compact",))
+    return ops
+
+
+def _apply(db: DB, op: tuple) -> None:
+    kind = op[0]
+    if kind == "put":
+        db.put(op[1], op[2])
+    elif kind == "delete":
+        db.delete(op[1])
+    elif kind == "batch":
+        batch = db.batch()
+        for item_kind, key, value in op[1]:
+            if item_kind == "put":
+                batch.put_int(key, value)
+            else:
+                batch.delete_int(key)
+        db.write(batch)
+    elif kind == "flush":
+        db.flush()
+    elif kind == "compact":
+        db.compact()
+
+
+def _commit(model: dict[int, bytes], op: tuple) -> None:
+    kind = op[0]
+    if kind == "put":
+        model[op[1]] = op[2]
+    elif kind == "delete":
+        model.pop(op[1], None)
+    elif kind == "batch":
+        for item_kind, key, value in op[1]:
+            if item_kind == "put":
+                model[key] = value
+            else:
+                model.pop(key, None)
+
+
+def _pending_effects(op: tuple | None) -> dict[int, bytes | None]:
+    """Post-state each key would have if the in-flight op had completed."""
+    if op is None:
+        return {}
+    kind = op[0]
+    if kind == "put":
+        return {op[1]: op[2]}
+    if kind == "delete":
+        return {op[1]: None}
+    if kind == "batch":
+        return {
+            key: (value if item_kind == "put" else None)
+            for item_kind, key, value in op[1]
+        }
+    return {}  # flush/compact/close carry no user mutations
+
+
+@dataclass
+class CrashPointResult:
+    """Outcome of one (seed, crash point) run."""
+
+    crash_point: int
+    crashed: bool              # False = schedule finished before the cut
+    durable_ops: int
+    acked_ops: int
+    violations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class SeedReport:
+    """Outcome of one seed's full crash-point sweep."""
+
+    seed: int
+    crash_points: int          # durable ops enumerated == runs that crashed
+    recoveries: int
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_crash_point(
+    base_dir: str, seed: int, crash_point: int, config: TortureConfig
+) -> CrashPointResult:
+    """Replay seed's schedule, cut power at ``crash_point``, verify recovery."""
+    path = os.path.join(base_dir, f"s{seed}-cp{crash_point}")
+    holder: dict[str, FaultInjectionEnv] = {}
+
+    def factory(root, device, stats):
+        env = FaultInjectionEnv(
+            root, device, stats, seed=seed * 1_000_003 + crash_point
+        )
+        holder["env"] = env
+        return env
+
+    model: dict[int, bytes] = {}
+    pending: tuple | None = None
+    acked = 0
+    crashed = False
+    db = DB(path, torture_options(config, env_factory=factory))
+    env = holder["env"]
+    env.schedule_crash(crash_point)
+    try:
+        for op in build_schedule(seed, config):
+            pending = op
+            _apply(db, op)
+            _commit(model, op)
+            pending = None
+            acked += 1
+        pending = ("close",)
+        db.close()
+        pending = None
+    except PowerCutError:
+        crashed = True
+
+    result = CrashPointResult(
+        crash_point=crash_point,
+        crashed=crashed,
+        durable_ops=env.durable_ops,
+        acked_ops=acked,
+    )
+    if crashed:
+        env.crash()
+        result.violations = _verify_recovery(path, config, model, pending)
+    shutil.rmtree(path, ignore_errors=True)
+    return result
+
+
+def _verify_recovery(
+    path: str,
+    config: TortureConfig,
+    model: dict[int, bytes],
+    pending: tuple | None,
+) -> list[str]:
+    violations: list[str] = []
+    try:
+        db = DB(path, torture_options(config))
+    except Exception as exc:  # recovery must never raise, whatever the cut
+        return [f"recovery raised {type(exc).__name__}: {exc}"]
+    try:
+        allowed_new = _pending_effects(pending)
+        for key in range(config.key_space):
+            got = db.get(key)
+            old = model.get(key)
+            if key in allowed_new:
+                if got != old and got != allowed_new[key]:
+                    violations.append(
+                        f"key {key}: got {got!r}, expected acked {old!r} "
+                        f"or in-flight {allowed_new[key]!r}"
+                    )
+            elif got != old:
+                kind = "lost acknowledged write" if got is None else "wrong read"
+                violations.append(
+                    f"key {key}: {kind} — got {got!r}, expected {old!r}"
+                )
+        if pending is not None and pending[0] == "batch":
+            # All-or-nothing: keys whose old and new states differ must
+            # agree on which side of the batch they observed.
+            informative = {
+                key: new
+                for key, new in allowed_new.items()
+                if model.get(key) != new
+            }
+            if informative:
+                states = {key: db.get(key) for key in informative}
+                all_old = all(
+                    states[key] == model.get(key) for key in informative
+                )
+                all_new = all(
+                    states[key] == informative[key] for key in informative
+                )
+                if not (all_old or all_new):
+                    violations.append(
+                        f"torn batch: per-key outcomes {states!r} are neither "
+                        f"all-old nor all-new"
+                    )
+        # A full scan must agree with the point lookups (no phantoms).
+        scanned = dict(db.iterator())
+        for key, value in scanned.items():
+            expected = model.get(key)
+            if key in allowed_new:
+                if value != expected and value != allowed_new[key]:
+                    violations.append(f"scan phantom at key {key}: {value!r}")
+            elif value != expected:
+                violations.append(
+                    f"scan mismatch at key {key}: {value!r} != {expected!r}"
+                )
+    finally:
+        db.close()
+    return violations
+
+
+def torture_seed(
+    base_dir: str, seed: int, config: TortureConfig | None = None
+) -> SeedReport:
+    """Sweep every crash point of one seed's schedule."""
+    config = config if config is not None else TortureConfig()
+    report = SeedReport(seed=seed, crash_points=0, recoveries=0)
+    crash_point = 1
+    while True:
+        result = run_crash_point(base_dir, seed, crash_point, config)
+        if not result.crashed:
+            # The schedule (incl. close) finished before the countdown: the
+            # crash-point space is exhausted.
+            return report
+        report.crash_points += 1
+        report.recoveries += 1
+        report.violations.extend(
+            f"seed={seed} crash_point={crash_point}: {violation}"
+            for violation in result.violations
+        )
+        crash_point += 1
+
+
+def transient_fault_equivalence(
+    base_dir: str,
+    seed: int,
+    config: TortureConfig | None = None,
+    rate: float = 0.05,
+) -> dict:
+    """Same workload, fault-free vs. transient-read-faults-with-retries.
+
+    Builds the seed's store twice — once on a clean env, once on a
+    :class:`FaultInjectionEnv` injecting transient read errors at ``rate``
+    — then compares every point lookup and a sample of range queries.
+    With retries enabled the answers must be identical, and every injected
+    fault must be visible in ``PerfStats`` / ``DB.health()``.
+    """
+    config = config if config is not None else TortureConfig()
+    answers: list[dict] = []
+    holder: dict[str, FaultInjectionEnv] = {}
+    for label, env_factory in (
+        ("clean", None),
+        (
+            "faulty",
+            lambda root, device, stats: holder.setdefault(
+                "env",
+                FaultInjectionEnv(
+                    root, device, stats,
+                    seed=seed, transient_read_error_rate=rate,
+                ),
+            ),
+        ),
+    ):
+        path = os.path.join(base_dir, f"equiv-{label}-s{seed}")
+        db = DB(path, torture_options(config, env_factory=env_factory))
+        for op in build_schedule(seed, config):
+            _apply(db, op)
+        points = {key: db.get(key) for key in range(config.key_space)}
+        span = max(config.key_space // 4, 1)
+        ranges = {
+            (low, low + span): db.range_query(low, low + span)
+            for low in range(0, config.key_space, span)
+        }
+        # Close before snapshotting health: the final flush/compaction can
+        # still hit (and retry) injected faults, which must all be counted.
+        db.close()
+        answers.append(
+            {
+                "label": label,
+                "points": points,
+                "ranges": ranges,
+                "health": db.health(),
+            }
+        )
+        shutil.rmtree(path, ignore_errors=True)
+    clean, faulty = answers
+    env = holder["env"]
+    return {
+        "seed": seed,
+        "answers_match": (
+            clean["points"] == faulty["points"]
+            and clean["ranges"] == faulty["ranges"]
+        ),
+        "injected_transient_errors": env.injected["transient_read_errors"],
+        "observed_transient_errors": faulty["health"].io_transient_errors,
+        "io_retries": faulty["health"].io_retries,
+        "health": faulty["health"],
+    }

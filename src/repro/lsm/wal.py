@@ -28,11 +28,21 @@ BATCH_OP = 0xB0
 
 
 class WriteAheadLog:
-    """Append-only mutation log bound to one :class:`StorageEnv` file."""
+    """Append-only mutation log bound to one :class:`StorageEnv` file.
 
-    def __init__(self, env: StorageEnv, name: str = "wal.log") -> None:
+    With ``sync=True`` every append ends with a durability barrier
+    (:meth:`StorageEnv.sync_file`), which is what makes a write
+    "acknowledged": a power cut afterwards may tear at most the record a
+    crash interrupted mid-append, and CRC framing drops that torn tail on
+    replay.  ``sync=False`` trades that guarantee for speed (bulk loads).
+    """
+
+    def __init__(
+        self, env: StorageEnv, name: str = "wal.log", sync: bool = True
+    ) -> None:
         self._env = env
         self.name = name
+        self._sync = sync
 
     # ------------------------------------------------------------------
     # Writing
@@ -53,6 +63,8 @@ class WriteAheadLog:
         payload = bytes([op]) + struct.pack("<I", len(key)) + key + value
         frame = _HEADER.pack(zlib.crc32(payload), len(payload)) + payload
         self._env.append_file(self.name, frame)
+        if self._sync:
+            self._env.sync_file(self.name)
 
     # ------------------------------------------------------------------
     # Recovery

@@ -4,17 +4,29 @@ The store's durability story rests on CRC framing (WAL records, data
 blocks, index blocks) and magic numbers (SST footer, filter envelopes).
 These tests flip bytes at every layer and assert the right error class
 surfaces — wrong data must never be returned as if valid.
+
+On top of detection, the store now *handles* a class of faults online —
+transient read errors are retried, corrupt filter envelopes degrade the
+run to filter-less, failed background writes park the store in read-only
+mode — and every injected fault must be visible in ``PerfStats`` /
+``DB.health()`` (counter parity: nothing fails silently).
 """
 
 import pytest
 
 from repro.bench.factories import make_factory
-from repro.errors import CorruptionError, SerializationError
+from repro.errors import (
+    CorruptionError,
+    ReadOnlyStoreError,
+    SerializationError,
+    TransientIOError,
+)
 from repro.lsm.db import DB
+from repro.lsm.faults import FaultInjectionEnv
 from repro.lsm.options import DBOptions
 
 
-def _loaded_db(path: str, with_filter: bool = False) -> DB:
+def _loaded_db(path: str, with_filter: bool = False, **option_overrides) -> DB:
     options = DBOptions(
         key_bits=32,
         memtable_size_bytes=8 << 10,
@@ -25,12 +37,26 @@ def _loaded_db(path: str, with_filter: bool = False) -> DB:
             make_factory("rosetta", 32, 16, max_range=32) if with_filter
             else None
         ),
+        **option_overrides,
     )
     db = DB(path, options)
     for i in range(2000):
         db.put(i * 13, f"value-{i}".encode())
     db.flush()
     return db
+
+
+def _faulty_db(path: str, seed: int = 7, **option_overrides):
+    """A loaded DB running on a :class:`FaultInjectionEnv`; returns (db, env)."""
+    holder = {}
+
+    def factory(root, device, stats):
+        env = FaultInjectionEnv(root, device, stats, seed=seed)
+        holder["env"] = env
+        return env
+
+    db = _loaded_db(path, env_factory=factory, **option_overrides)
+    return db, holder["env"]
 
 
 def _run_for_key(db: DB, key: int):
@@ -90,12 +116,56 @@ class TestDataCorruption:
         with pytest.raises(CorruptionError):
             DB(path, DBOptions(key_bits=32))
 
-    def test_corrupt_filter_envelope_detected(self, tmp_path):
+    def test_corrupt_filter_envelope_degrades_run(self, tmp_path):
+        """Default contract: a corrupt filter costs performance, not answers.
+
+        The probe falls through to the data read (whose per-block CRCs
+        still guard correctness), the run is marked degraded exactly once,
+        and the health report names it.
+        """
         db = _loaded_db(str(tmp_path / "db"), with_filter=True)
         run = _run_for_key(db, 7)  # absent key covered by this run's span
         # Corrupt the filter block's first byte (the envelope tag length).
         handle = run.reader._filter_handle  # noqa: SLF001
         assert handle.size > 0
+        _flip_byte(_path_of(db, run), handle.offset)
+        assert db.get(7) is None          # absent key: correct, filter-less
+        assert db.get(13) == b"value-1"   # present key still served
+        assert db.stats.filters_degraded == 1
+        health = db.health()
+        assert health.mode == "healthy"   # degraded filter != degraded store
+        assert run.name in health.degraded_filters
+        db.close()
+
+    def test_corrupt_filter_degradation_counted_once(self, tmp_path):
+        db = _loaded_db(str(tmp_path / "db"), with_filter=True)
+        run = _run_for_key(db, 7)
+        handle = run.reader._filter_handle  # noqa: SLF001
+        _flip_byte(_path_of(db, run), handle.offset)
+        for probe in (7, 20, 33, 46):     # repeated misses, one degradation
+            db.get(probe)
+        assert db.stats.filters_degraded == 1
+        db.close()
+
+    def test_compaction_rebuilds_degraded_filter(self, tmp_path):
+        db = _loaded_db(str(tmp_path / "db"), with_filter=True)
+        run = _run_for_key(db, 7)
+        handle = run.reader._filter_handle  # noqa: SLF001
+        _flip_byte(_path_of(db, run), handle.offset)
+        db.get(7)
+        assert db.health().degraded_filters
+        db.force_full_compaction()        # rewrites the run, fresh filter
+        assert db.health().degraded_filters == ()
+        assert db.get(13) == b"value-1"
+        db.close()
+
+    def test_corrupt_filter_envelope_raises_when_degradation_off(self, tmp_path):
+        db = _loaded_db(
+            str(tmp_path / "db"), with_filter=True,
+            degrade_corrupt_filters=False,
+        )
+        run = _run_for_key(db, 7)
+        handle = run.reader._filter_handle  # noqa: SLF001
         _flip_byte(_path_of(db, run), handle.offset)
         with pytest.raises(SerializationError):
             db.get(7)  # filter probe -> deserialization of corrupt bytes
@@ -131,3 +201,186 @@ class TestRecoveryRobustness:
         assert db.get(13) == b"value-1"
         assert db.stats.block_cache_hits == 0
         db.close()
+
+
+class TestTransientRetries:
+    def test_scripted_transient_faults_are_retried(self, tmp_path):
+        db, env = _faulty_db(str(tmp_path / "db"))
+        env.fail_next_reads(2)
+        assert db.get(13) == b"value-1"   # both faults absorbed by retries
+        assert db.stats.io_transient_errors == 2
+        assert db.stats.io_retries == 2
+        # Counter parity: every injected fault is observable.
+        assert env.injected["transient_read_errors"] == db.stats.io_transient_errors
+        db.close()
+
+    def test_retries_exhausted_raises_transient_error(self, tmp_path):
+        db, env = _faulty_db(str(tmp_path / "db"), io_retry_attempts=1)
+        env.fail_next_reads(10)           # more than 1 attempt can absorb
+        with pytest.raises(TransientIOError):
+            db.get(13)
+        # First try + one retry = two observed faults, one retry charged.
+        assert db.stats.io_transient_errors == 2
+        assert db.stats.io_retries == 1
+        db.close()
+
+    def test_retries_disabled_raises_immediately(self, tmp_path):
+        db, env = _faulty_db(str(tmp_path / "db"), io_retry_attempts=0)
+        env.fail_next_reads(1)
+        with pytest.raises(TransientIOError):
+            db.get(13)
+        assert db.stats.io_transient_errors == 1
+        assert db.stats.io_retries == 0
+        db.close()
+
+    def test_retry_backoff_charged_to_read_time(self, tmp_path):
+        db, env = _faulty_db(
+            str(tmp_path / "db"),
+            io_retry_attempts=3, io_retry_backoff_ns=1_000_000,
+        )
+        before = db.stats.block_read_time_ns
+        env.fail_next_reads(2)
+        db.get(13)
+        # Modeled exponential backoff: 1ms + 2ms for the two retries.
+        assert db.stats.block_read_time_ns - before >= 3_000_000
+        db.close()
+
+    def test_rate_injected_workload_matches_fault_free(self, tmp_path):
+        """Acceptance: with retries on, faults change cost, not answers."""
+        from repro.lsm.torture import transient_fault_equivalence
+
+        outcome = transient_fault_equivalence(str(tmp_path), seed=4, rate=0.05)
+        assert outcome["injected_transient_errors"] > 0  # faults really fired
+        assert outcome["answers_match"]
+        assert (
+            outcome["observed_transient_errors"]
+            == outcome["injected_transient_errors"]
+        )
+        assert outcome["io_retries"] == outcome["observed_transient_errors"]
+
+    def test_permanent_read_error_not_retried(self, tmp_path):
+        db, env = _faulty_db(str(tmp_path / "db"))
+        run = _run_for_key(db, 13)
+        env.fail_file_reads(run.name)
+        with pytest.raises(OSError):
+            db.get(13)
+        assert db.stats.io_retries == 0   # OSError is not a transient fault
+        env.heal_file_reads(run.name)
+        assert db.get(13) == b"value-1"
+        db.close()
+
+
+class TestBackgroundErrors:
+    def test_failed_flush_enters_degraded_readonly(self, tmp_path):
+        db, env = _faulty_db(str(tmp_path / "db"))
+        db.put(999_999, b"buffered")
+        env.fail_next_writes(1)
+        db.flush()                        # swallows the OSError, degrades
+        health = db.health()
+        assert health.mode == "degraded"
+        assert not health.ok
+        assert "flush" in health.background_error
+        assert health.background_errors == 1
+        assert env.injected["write_errors"] == 1
+        # Reads still work — including the write that never reached an SST.
+        assert db.get(999_999) == b"buffered"
+        assert db.get(13) == b"value-1"
+        # Writes are refused until resume().
+        with pytest.raises(ReadOnlyStoreError):
+            db.put(1, b"nope")
+        with pytest.raises(ReadOnlyStoreError):
+            db.delete(1)
+        db.close()
+
+    def test_resume_retries_the_pending_flush(self, tmp_path):
+        path = str(tmp_path / "db")
+        db, env = _faulty_db(path)
+        db.put(999_999, b"buffered")
+        env.fail_next_writes(1)
+        db.flush()
+        assert db.health().mode == "degraded"
+        assert db.resume()                # device healed: flush succeeds
+        assert db.health().ok
+        db.put(1_000_000, b"post-resume")
+        db.close()
+        reopened = DB(path, DBOptions(key_bits=32))
+        assert reopened.get(999_999) == b"buffered"
+        assert reopened.get(1_000_000) == b"post-resume"
+        reopened.close()
+
+    def test_resume_fails_again_on_still_broken_device(self, tmp_path):
+        db, env = _faulty_db(str(tmp_path / "db"))
+        db.put(999_999, b"buffered")
+        env.fail_next_writes(10)
+        db.flush()
+        assert not db.resume()            # still failing: back to degraded
+        assert db.health().mode == "degraded"
+        assert db.stats.background_errors == 2
+        db.close()
+
+    def test_degraded_close_never_raises_and_loses_nothing(self, tmp_path):
+        path = str(tmp_path / "db")
+        db, env = _faulty_db(path)
+        db.put(999_999, b"buffered")
+        env.fail_next_writes(100)         # device stays broken through close
+        db.flush()
+        assert db.health().mode == "degraded"
+        db.close()                        # must not raise despite the device
+        # The WAL was never truncated, so reopen recovers everything.
+        reopened = DB(path, DBOptions(key_bits=32))
+        assert reopened.get(999_999) == b"buffered"
+        assert reopened.get(13) == b"value-1"
+        reopened.close()
+
+    def test_context_manager_exit_swallows_background_failures(self, tmp_path):
+        path = str(tmp_path / "db")
+        db, env = _faulty_db(path)
+        with db:
+            db.put(999_999, b"buffered")
+            env.fail_next_writes(100)     # device dies after the ack
+        reopened = DB(path, DBOptions(key_bits=32))
+        assert reopened.get(999_999) == b"buffered"
+        reopened.close()
+
+
+class TestRepairProperty:
+    """repair_store -> reopen never raises, and keeps every healthy run."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_repair_then_reopen_after_seeded_corruption(self, tmp_path, seed):
+        import random
+
+        from repro.lsm.repair import repair_store
+
+        path = str(tmp_path / "db")
+        db = _loaded_db(path, with_filter=True)
+        db.compact()                      # several runs across levels
+        runs = db.version.all_runs_newest_first()
+        env = FaultInjectionEnv(path, stats=db.stats, seed=seed)
+        rng = random.Random(seed)
+        victims = rng.sample(runs, k=min(rng.randint(1, 2), len(runs)))
+        for victim in victims:
+            env.corrupt_file(victim.name, count=rng.randint(1, 4))
+        db.close()
+
+        options = DBOptions(key_bits=32, block_cache_bytes=0)
+        outcome = repair_store(path, options)
+        assert env.injected["bit_flips"] > 0
+        # Every run repair kept must be genuinely healthy, every run it
+        # dropped must be one we corrupted (bit flips can land in padding
+        # or survive CRC windows, so <= rather than ==).
+        assert set(outcome.dropped_files) <= {v.name for v in victims}
+        healthy = {r.name for r in runs} - set(outcome.dropped_files)
+        assert set(outcome.healthy_files) == healthy
+
+        reopened = DB(path, options)      # the property: this never raises
+        try:
+            surviving = {
+                r.name for r in reopened.version.all_runs_newest_first()
+            }
+            assert surviving == healthy   # healthy runs all retained
+            # And the survivors are fully readable end to end.
+            for _ in reopened.iterator():
+                pass
+        finally:
+            reopened.close()
