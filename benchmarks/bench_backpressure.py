@@ -1,0 +1,147 @@
+"""Write throughput and stall behavior: inline vs. background maintenance.
+
+Drives an identical write-heavy workload (small memtable, aggressive L0
+triggers — the store is permanently behind on maintenance) through two
+configurations:
+
+* ``inline`` — ``max_background_jobs=0``: every flush/compaction runs on
+  the writing thread, the historical fully-synchronous semantics;
+* ``background`` — worker threads with RocksDB-style backpressure: full
+  memtables seal into the immutable queue and writers are admitted,
+  slowed (modeled ``delayed_write_ns`` charge), or stopped (a real
+  bounded block) depending on maintenance debt.
+
+Reported per configuration: wall-clock write throughput, the per-put
+latency distribution (p50/p90/p99/max — backgrounding moves flush cost
+out of the tail), and the stall counters (seals, slowdowns, stops, stall
+time, modeled delay).  The answers are cross-checked: both stores must
+agree on every key.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backpressure.py           # full
+    PYTHONPATH=src python benchmarks/bench_backpressure.py --smoke   # CI
+
+Writes ``BENCH_backpressure.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lsm.db import DB  # noqa: E402
+from repro.lsm.options import DBOptions  # noqa: E402
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_backpressure.json"
+
+
+def _options(jobs: int) -> DBOptions:
+    return DBOptions(
+        key_bits=32,
+        memtable_size_bytes=4 << 10,
+        sst_size_bytes=16 << 10,
+        block_size_bytes=1024,
+        block_cache_bytes=0,
+        level0_file_num_compaction_trigger=2,
+        max_bytes_for_level_base=64 << 10,
+        max_background_jobs=jobs,
+        max_immutable_memtables=2,
+        level0_slowdown_writes_trigger=4,
+        level0_stop_writes_trigger=8,
+    )
+
+
+def _percentile(sorted_ns: list[int], fraction: float) -> int:
+    if not sorted_ns:
+        return 0
+    index = min(len(sorted_ns) - 1, int(fraction * len(sorted_ns)))
+    return sorted_ns[index]
+
+
+def run_config(label: str, jobs: int, num_ops: int, workdir: str) -> dict:
+    db = DB(str(Path(workdir) / label), _options(jobs))
+    value = b"backpressure-payload-" * 8  # ~170 B/put: frequent seals
+    latencies: list[int] = []
+    started = time.perf_counter_ns()
+    for op in range(num_ops):
+        before = time.perf_counter_ns()
+        db.put(op % (num_ops // 4), value + b"#%d" % op)
+        latencies.append(time.perf_counter_ns() - before)
+    db.wait_idle()
+    elapsed_ns = time.perf_counter_ns() - started
+    stats = db.stats
+    answers = {key: db.get(key) for key in range(num_ops // 4)}
+    health = db.health()
+    db.close()
+    latencies.sort()
+    return {
+        "label": label,
+        "max_background_jobs": jobs,
+        "num_ops": num_ops,
+        "elapsed_seconds": round(elapsed_ns / 1e9, 4),
+        "puts_per_second": round(num_ops / (elapsed_ns / 1e9), 1),
+        "put_latency_ns": {
+            "p50": _percentile(latencies, 0.50),
+            "p90": _percentile(latencies, 0.90),
+            "p99": _percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0,
+        },
+        "memtable_seals": stats.memtable_seals,
+        "flushes": stats.flushes,
+        "compactions": stats.compactions,
+        "write_slowdowns": stats.write_slowdowns,
+        "write_stops": stats.write_stops,
+        "write_stall_time_ns": stats.write_stall_time_ns,
+        "write_delay_time_ns": stats.write_delay_time_ns,
+        "write_stall_timeouts": stats.write_stall_timeouts,
+        "final_stall_state": health.stall_state,
+        "_answers": answers,  # stripped before serialization
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ops", type=int, default=4000,
+        help="writes per configuration (default: 4000)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI smoke run: 800 writes"
+    )
+    args = parser.parse_args(argv)
+    num_ops = 800 if args.smoke else args.ops
+
+    records = []
+    with tempfile.TemporaryDirectory(prefix="backpressure-") as workdir:
+        for label, jobs in (("inline", 0), ("background", 2)):
+            record = run_config(label, jobs, num_ops, workdir)
+            records.append(record)
+            print(
+                f"{label:10s}: {record['puts_per_second']:10.1f} puts/s, "
+                f"p99 {record['put_latency_ns']['p99'] / 1e3:8.1f} us, "
+                f"{record['write_slowdowns']} slowdowns, "
+                f"{record['write_stops']} stops, "
+                f"stall {record['write_stall_time_ns'] / 1e6:.2f} ms"
+            )
+
+    answers_match = records[0].pop("_answers") == records[1].pop("_answers")
+    result = {
+        "bench": "backpressure",
+        "num_ops": num_ops,
+        "answers_match": answers_match,
+        "configs": records,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"-> {RESULT_PATH.name} (answers match: {answers_match})")
+    return 0 if answers_match else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

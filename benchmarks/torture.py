@@ -10,6 +10,13 @@ workload under injected transient read errors (with retries) must produce
 exactly the fault-free answers, with every injected fault visible in the
 health report.
 
+On top of the inline sweep, every seed repeats the full crash-point sweep
+with background maintenance workers on a seeded deterministic scheduler
+(``--sched-seeds`` interleavings per seed — power cuts land mid-flush,
+mid-compaction, and mid-superversion-install on a worker), and checks
+interleaving equivalence: inline and every scheduler seed must answer
+identically on a crash-free run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/torture.py           # 20 seeds (full)
@@ -33,6 +40,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.lsm.torture import (  # noqa: E402
     TortureConfig,
+    concurrent_torture_seed,
+    schedule_equivalence,
     torture_seed,
     transient_fault_equivalence,
 )
@@ -40,18 +49,33 @@ from repro.lsm.torture import (  # noqa: E402
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_torture.json"
 
 
-def run_matrix(seeds: int, style: str) -> dict:
+def run_matrix(seeds: int, style: str, sched_seeds: int) -> dict:
     config = TortureConfig(compaction_style=style)
+    interleavings = tuple(range(sched_seeds))
     records = []
     violations: list[str] = []
     total_crash_points = 0
+    total_concurrent_crash_points = 0
     started = time.time()
     with tempfile.TemporaryDirectory(prefix="torture-") as workdir:
         for seed in range(seeds):
             report = torture_seed(workdir, seed, config)
             equivalence = transient_fault_equivalence(workdir, seed, config)
+            concurrent = concurrent_torture_seed(
+                workdir, seed, config, sched_seeds=interleavings
+            )
+            interleaving_eq = schedule_equivalence(
+                workdir, seed, config, sched_seeds=interleavings
+            )
             total_crash_points += report.crash_points
+            total_concurrent_crash_points += concurrent.crash_points
             violations.extend(report.violations)
+            violations.extend(concurrent.violations)
+            if not interleaving_eq["equivalent"]:
+                violations.append(
+                    f"seed={seed}: interleavings diverged: "
+                    f"{interleaving_eq['mismatches']}"
+                )
             if not equivalence["answers_match"]:
                 violations.append(
                     f"seed={seed}: answers diverged under transient faults"
@@ -77,19 +101,28 @@ def run_matrix(seeds: int, style: str) -> dict:
                         "injected_transient_errors"
                     ],
                     "io_retries": equivalence["io_retries"],
+                    "concurrent_crash_points": concurrent.crash_points,
+                    "concurrent_recoveries": concurrent.recoveries,
+                    "concurrent_violations": concurrent.violations,
+                    "interleavings_equivalent": interleaving_eq["equivalent"],
                 }
             )
             print(
-                f"seed {seed:3d}: {report.crash_points:4d} crash points, "
-                f"{len(report.violations)} violations; transient-equivalence "
-                f"{'ok' if equivalence['answers_match'] else 'FAILED'} "
-                f"({equivalence['injected_transient_errors']} faults injected)"
+                f"seed {seed:3d}: {report.crash_points:4d} inline + "
+                f"{concurrent.crash_points:4d} concurrent crash points, "
+                f"{len(report.violations) + len(concurrent.violations)} "
+                f"violations; transient-equivalence "
+                f"{'ok' if equivalence['answers_match'] else 'FAILED'}, "
+                f"interleaving-equivalence "
+                f"{'ok' if interleaving_eq['equivalent'] else 'FAILED'}"
             )
     return {
         "bench": "torture",
         "compaction_style": style,
         "seeds": seeds,
+        "scheduler_seeds": sched_seeds,
         "total_crash_points": total_crash_points,
+        "total_concurrent_crash_points": total_concurrent_crash_points,
         "elapsed_seconds": round(time.time() - started, 2),
         "violations": violations,
         "per_seed": records,
@@ -110,14 +143,20 @@ def main(argv: list[str] | None = None) -> int:
         "--style", choices=("leveled", "tiered"), default="leveled",
         help="compaction style under test (default: leveled)",
     )
+    parser.add_argument(
+        "--sched-seeds", type=int, default=2,
+        help="deterministic scheduler seeds per workload seed (default: 2)",
+    )
     args = parser.parse_args(argv)
     seeds = 5 if args.smoke else args.seeds
 
-    result = run_matrix(seeds, args.style)
+    result = run_matrix(seeds, args.style, args.sched_seeds)
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(
-        f"\n{result['total_crash_points']} crash points across {seeds} seeds "
-        f"in {result['elapsed_seconds']}s -> {RESULT_PATH.name}"
+        f"\n{result['total_crash_points']} inline + "
+        f"{result['total_concurrent_crash_points']} concurrent crash points "
+        f"across {seeds} seeds in {result['elapsed_seconds']}s "
+        f"-> {RESULT_PATH.name}"
     )
     if result["violations"]:
         print(f"{len(result['violations'])} VIOLATIONS:", file=sys.stderr)

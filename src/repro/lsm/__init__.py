@@ -14,6 +14,11 @@ from repro.lsm.memtable import MemTable
 from repro.lsm.options import DBOptions
 from repro.lsm.perf_context import QueryContext
 from repro.lsm.repair import RepairOutcome, repair_store
+from repro.lsm.scheduler import (
+    DeterministicScheduler,
+    InlineScheduler,
+    ThreadPoolScheduler,
+)
 from repro.lsm.sst_dump import SstSummary, dump_sst, summarize_sst
 from repro.lsm.stats import PerfStats, Stopwatch
 from repro.lsm.verify import VerificationReport, verify_version
@@ -24,9 +29,11 @@ __all__ = [
     "DB",
     "DBOptions",
     "DEVICE_PRESETS",
+    "DeterministicScheduler",
     "DeviceModel",
     "FaultInjectionEnv",
     "HealthReport",
+    "InlineScheduler",
     "MemTable",
     "PerfStats",
     "QueryContext",
@@ -34,6 +41,7 @@ __all__ = [
     "SstSummary",
     "StorageEnv",
     "Stopwatch",
+    "ThreadPoolScheduler",
     "VerificationReport",
     "WriteBatch",
     "dump_sst",

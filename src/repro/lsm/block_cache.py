@@ -9,11 +9,15 @@ metadata from eviction entirely.
 
 Implementation: two LRU pools (low = data, high = filter/index) sharing one
 byte budget, plus a pinned set that is charged but never evicted.  Eviction
-drains the low-priority pool before touching the high-priority one.
+drains the low-priority pool before touching the high-priority one.  The
+cache is shared between foreground queries and background compaction
+reads, so every operation runs under one internal mutex — LRU reordering
+and the ``_used`` byte accounting are not safe to interleave.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable
 
@@ -27,6 +31,7 @@ class BlockCache:
         if capacity_bytes < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
+        self._lock = threading.Lock()
         self._low: OrderedDict[Hashable, bytes] = OrderedDict()
         self._high: OrderedDict[Hashable, bytes] = OrderedDict()
         self._pinned: dict[Hashable, bytes] = {}
@@ -39,17 +44,18 @@ class BlockCache:
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> bytes | None:
         """Return the cached block or None; refreshes LRU position."""
-        for pool in (self._pinned,):
-            if key in pool:
-                self.hits += 1
-                return pool[key]
-        for pool in (self._high, self._low):
-            if key in pool:
-                pool.move_to_end(key)
-                self.hits += 1
-                return pool[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            for pool in (self._pinned,):
+                if key in pool:
+                    self.hits += 1
+                    return pool[key]
+            for pool in (self._high, self._low):
+                if key in pool:
+                    pool.move_to_end(key)
+                    self.hits += 1
+                    return pool[key]
+            self.misses += 1
+            return None
 
     # ------------------------------------------------------------------
     # Insertion
@@ -69,15 +75,16 @@ class BlockCache:
         """
         if self.capacity_bytes == 0 or len(block) > self.capacity_bytes:
             return
-        self.remove(key)
-        if pinned:
-            self._pinned[key] = block
-        elif high_priority:
-            self._high[key] = block
-        else:
-            self._low[key] = block
-        self._used += len(block)
-        self._evict_to_capacity()
+        with self._lock:
+            self._remove_locked(key)
+            if pinned:
+                self._pinned[key] = block
+            elif high_priority:
+                self._high[key] = block
+            else:
+                self._low[key] = block
+            self._used += len(block)
+            self._evict_to_capacity()
 
     def _evict_to_capacity(self) -> None:
         while self._used > self.capacity_bytes and self._low:
@@ -92,25 +99,32 @@ class BlockCache:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def remove(self, key: Hashable) -> None:
-        """Drop one entry if present (any pool)."""
+    def _remove_locked(self, key: Hashable) -> None:
         for pool in (self._low, self._high, self._pinned):
             block = pool.pop(key, None)
             if block is not None:
                 self._used -= len(block)
                 return
 
+    def remove(self, key: Hashable) -> None:
+        """Drop one entry if present (any pool)."""
+        with self._lock:
+            self._remove_locked(key)
+
     def remove_file(self, file_name: str) -> None:
         """Drop every entry belonging to ``file_name`` (post-compaction)."""
-        for pool in (self._low, self._high, self._pinned):
-            stale = [key for key in pool if key[0] == file_name]
-            for key in stale:
-                self._used -= len(pool.pop(key))
+        with self._lock:
+            for pool in (self._low, self._high, self._pinned):
+                stale = [key for key in pool if key[0] == file_name]
+                for key in stale:
+                    self._used -= len(pool.pop(key))
 
     @property
     def used_bytes(self) -> int:
         """Bytes currently charged to the cache."""
-        return self._used
+        with self._lock:
+            return self._used
 
     def __len__(self) -> int:
-        return len(self._low) + len(self._high) + len(self._pinned)
+        with self._lock:
+            return len(self._low) + len(self._high) + len(self._pinned)

@@ -1,4 +1,4 @@
-"""Leveled compaction — merge runs downward, rebuilding filters.
+"""Leveled/tiered compaction — merge runs downward, rebuilding filters.
 
 Policy (RocksDB leveled, simplified to whole-level granularity):
 
@@ -14,13 +14,39 @@ merged content of the new SST, while the filter instances for the old SSTs
 are destroyed" (§4) — old files are deleted, their block-cache entries and
 filter-dictionary entries dropped, and the new SSTs get fresh filters built
 by the configured factory (charged to the Fig. 6 construction counters).
+
+Job API
+-------
+Compaction is split into three phases so the DB's maintenance scheduler
+can interleave it safely with foreground work:
+
+``plan(version) -> CompactionJob | None``
+    Pure read of the tree shape: picks the next trigger-satisfying merge
+    (or None when the tree is in shape).  ``forced_l0_job`` and
+    ``full_compaction_job`` build the explicit-``compact()`` /
+    ``force_full_compaction()`` variants regardless of triggers.
+``execute(job) -> list[Run]``
+    The expensive part — merge the input runs into fresh output SSTs.
+    Touches no shared version state, so it runs unlocked on a worker.
+``apply(version, job, outputs)``
+    Pure metadata edit: swap inputs for outputs on a ``Version`` *clone*
+    under the DB mutex.  The caller persists the manifest and installs
+    the clone atomically; input files are destroyed afterwards (and only
+    once no reader still holds a superversion referencing them) via
+    :meth:`destroy_runs`.
+
+Name/group counters are lock-protected because flush jobs and compaction
+jobs allocate file names concurrently.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.errors import StoreError
 from repro.filters.base import FilterFactory
 from repro.lsm.block_cache import BlockCache
 from repro.lsm.env import StorageEnv
@@ -31,11 +57,29 @@ from repro.lsm.options import DBOptions
 from repro.lsm.sstable import SSTReader, SSTWriter
 from repro.lsm.version import Run, Version
 
-__all__ = ["Compactor"]
+__all__ = ["Compactor", "CompactionJob"]
+
+
+@dataclass
+class CompactionJob:
+    """One planned merge: what goes in, where the output lands.
+
+    ``kind`` is one of ``leveled-l0`` (L0+L1 -> L1), ``leveled-level``
+    (Ln+Ln+1 -> Ln+1), ``tiered-l0`` / ``tiered-level`` (whole level ->
+    one fresh group prepended at the target), or ``full`` (everything ->
+    the bottom level).  ``inputs`` are recency-ordered, which is what
+    makes the merging iterator's newest-wins shadowing correct.
+    """
+
+    kind: str
+    inputs: list[Run]
+    output_level: int
+    drop_tombstones: bool
+    source_level: int = 0
 
 
 class Compactor:
-    """Runs flush-triggered and size-triggered compactions for one DB."""
+    """Plans and runs flush-triggered and size-triggered compactions."""
 
     def __init__(
         self,
@@ -44,12 +88,15 @@ class Compactor:
         cache: BlockCache,
         filter_dictionary: FilterDictionary,
         filter_factory_provider: Callable[[], FilterFactory | None] | None = None,
-        on_version_change: Callable[[], None] | None = None,
     ) -> None:
         self._env = env
         self._options = options
         self._cache = cache
         self._filter_dictionary = filter_dictionary
+        # Guards the name/group counters: flush (on one worker) and
+        # compaction (possibly on another, or a forced foreground job)
+        # both allocate file names.
+        self._counter_lock = threading.Lock()
         self._next_file_number = 1
         self._next_group_id = 1
         # The auto-tuner can swap the factory between compactions (§2.4);
@@ -57,106 +104,111 @@ class Compactor:
         self._filter_factory_provider = filter_factory_provider or (
             lambda: options.filter_factory
         )
-        # Crash-safe GC ordering: the owner persists the manifest here
-        # *after* outputs are installed and *before* inputs are deleted, so
-        # a crash in between leaves a manifest whose files all still exist
-        # (orphaned outputs or inputs are cleaned up on the next recovery).
-        self._on_version_change = on_version_change or (lambda: None)
 
     def advance_file_number(self, past: int) -> None:
         """Never emit a file number <= ``past`` (recovery collision guard)."""
-        self._next_file_number = max(self._next_file_number, past + 1)
+        with self._counter_lock:
+            self._next_file_number = max(self._next_file_number, past + 1)
 
     def advance_group_id(self, past: int) -> None:
         """Never emit a group id <= ``past`` (recovery collision guard)."""
-        self._next_group_id = max(self._next_group_id, past + 1)
+        with self._counter_lock:
+            self._next_group_id = max(self._next_group_id, past + 1)
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Planning
     # ------------------------------------------------------------------
-    def maybe_compact(self, version: Version) -> int:
-        """Run compactions until the tree satisfies every invariant.
-
-        Returns the number of compactions performed.
-        """
+    def plan(self, version: Version) -> CompactionJob | None:
+        """Next trigger-satisfying compaction, or None when in shape."""
         if self._options.compaction_style == "tiered":
-            return self._maybe_compact_tiered(version)
-        performed = 0
-        while True:
-            if (
-                len(version.level0)
-                >= self._options.level0_file_num_compaction_trigger
-            ):
-                self._compact_level0(version)
-                performed += 1
-                continue
-            oversize = self._first_oversize_level(version)
-            if oversize is not None:
-                self._compact_level(version, oversize)
-                performed += 1
-                continue
-            return performed
-
-    def _maybe_compact_tiered(self, version: Version) -> int:
-        """Tiered policy: merge a level's runs down once it holds T of them.
-
-        L0 keeps its file-count trigger (each L0 file is one run); levels
-        1+ accumulate up to ``level_size_ratio`` sorted groups before the
-        whole level merges into one new group at the next level.  Runs are
-        never merged with the target level's existing groups — the write
-        savings that define tiering.
-        """
-        performed = 0
-        ratio = self._options.level_size_ratio
-        while True:
-            if (
-                len(version.level0)
-                >= self._options.level0_file_num_compaction_trigger
-            ):
-                inputs = version.level_runs(0)
-                self._tiered_merge(version, inputs, target=1)
-                version.clear_level0()
-                self._on_version_change()
-                self._destroy_runs(inputs)
-                performed += 1
-                continue
-            overfull = next(
-                (
-                    level
-                    for level in range(1, self._options.num_levels - 1)
-                    if version.num_groups(level) >= ratio
-                ),
-                None,
+            return self._plan_tiered(version)
+        if (
+            len(version.level0)
+            >= self._options.level0_file_num_compaction_trigger
+        ):
+            return self.forced_l0_job(version)
+        oversize = self._first_oversize_level(version)
+        if oversize is not None:
+            inputs = version.level_runs(oversize) + version.level_runs(oversize + 1)
+            return CompactionJob(
+                kind="leveled-level",
+                inputs=inputs,
+                output_level=oversize + 1,
+                drop_tombstones=version.max_populated_level() <= oversize + 1,
+                source_level=oversize,
             )
-            if overfull is not None:
-                inputs = version.level_runs(overfull)
-                self._tiered_merge(version, inputs, target=overfull + 1)
-                version.levels[overfull] = []
-                self._on_version_change()
-                self._destroy_runs(inputs)
-                performed += 1
-                continue
-            return performed
+        return None
 
-    def _tiered_merge(
-        self, version: Version, inputs: list[Run], target: int
-    ) -> None:
-        """Merge ``inputs`` into one fresh group prepended at ``target``."""
-        # Tombstones may drop only when nothing older can resurface: no
-        # deeper level holds data and the target level has no older groups.
+    def _plan_tiered(self, version: Version) -> CompactionJob | None:
+        ratio = self._options.level_size_ratio
+        if (
+            len(version.level0)
+            >= self._options.level0_file_num_compaction_trigger
+        ):
+            return self.forced_l0_job(version)
+        overfull = next(
+            (
+                level
+                for level in range(1, self._options.num_levels - 1)
+                if version.num_groups(level) >= ratio
+            ),
+            None,
+        )
+        if overfull is None:
+            return None
+        return CompactionJob(
+            kind="tiered-level",
+            inputs=version.level_runs(overfull),
+            output_level=overfull + 1,
+            drop_tombstones=self._tiered_bottom(version, overfull + 1),
+            source_level=overfull,
+        )
+
+    def forced_l0_job(self, version: Version) -> CompactionJob | None:
+        """An L0 merge regardless of the trigger (explicit ``compact()``)."""
+        if not version.level0:
+            return None
+        if self._options.compaction_style == "tiered":
+            return CompactionJob(
+                kind="tiered-l0",
+                inputs=version.level_runs(0),
+                output_level=1,
+                drop_tombstones=self._tiered_bottom(version, 1),
+                source_level=0,
+            )
+        inputs = version.level_runs(0) + version.level_runs(1)
+        return CompactionJob(
+            kind="leveled-l0",
+            inputs=inputs,
+            output_level=1,
+            drop_tombstones=version.max_populated_level() <= 1,
+            source_level=0,
+        )
+
+    def full_compaction_job(self, version: Version) -> CompactionJob | None:
+        """Merge every run into one sorted bottom run, dropping tombstones."""
+        inputs = version.all_runs_newest_first()
+        if not inputs:
+            return None
+        return CompactionJob(
+            kind="full",
+            inputs=inputs,
+            output_level=max(1, version.max_populated_level()),
+            drop_tombstones=True,
+            source_level=0,
+        )
+
+    def _tiered_bottom(self, version: Version, target: int) -> bool:
+        """Whether a tiered merge into ``target`` may drop tombstones.
+
+        Only when nothing older can resurface: no deeper level holds data
+        and the target level has no older groups.
+        """
         deeper_data = any(
             version.level_runs(level)
             for level in range(target + 1, self._options.num_levels)
         )
-        bottom = not deeper_data and not version.level_runs(target)
-        outputs = self._merge_and_write(
-            inputs, output_level=target, drop_tombstones=bottom
-        )
-        group_id = self._next_group_id
-        self._next_group_id += 1
-        for run in outputs:
-            run.group_id = group_id
-        version.prepend_group(target, outputs)
+        return not deeper_data and not version.level_runs(target)
 
     def _first_oversize_level(self, version: Version) -> int | None:
         for level in range(1, self._options.num_levels - 1):
@@ -166,43 +218,80 @@ class Compactor:
         return None
 
     # ------------------------------------------------------------------
-    # Compaction bodies
+    # Execution (no shared version state touched)
     # ------------------------------------------------------------------
-    def _compact_level0(self, version: Version) -> None:
-        inputs = version.level_runs(0) + version.level_runs(1)
-        if not inputs:
-            return
-        bottom = version.max_populated_level() <= 1
-        outputs = self._merge_and_write(inputs, output_level=1, drop_tombstones=bottom)
-        version.clear_level0()
-        version.install_level(1, outputs)
-        self._on_version_change()
-        self._destroy_runs(inputs)
-
-    def _compact_level(self, version: Version, level: int) -> None:
-        inputs = version.level_runs(level) + version.level_runs(level + 1)
-        if not inputs:
-            return
-        bottom = version.max_populated_level() <= level + 1
-        outputs = self._merge_and_write(
-            inputs, output_level=level + 1, drop_tombstones=bottom
+    def execute(self, job: CompactionJob) -> list[Run]:
+        """Merge the job's inputs into fresh output SSTs (the slow part)."""
+        outputs = self.merge_runs(
+            job.inputs, job.output_level, job.drop_tombstones
         )
-        version.install_level(level, [])
-        version.install_level(level + 1, outputs)
-        self._on_version_change()
-        self._destroy_runs(inputs)
+        if job.kind.startswith("tiered"):
+            with self._counter_lock:
+                group_id = self._next_group_id
+                self._next_group_id += 1
+            for run in outputs:
+                run.group_id = group_id
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Installation (caller holds the DB mutex, version is a clone)
+    # ------------------------------------------------------------------
+    def apply(
+        self, version: Version, job: CompactionJob, outputs: list[Run]
+    ) -> None:
+        """Swap the job's inputs for ``outputs`` in ``version``.
+
+        Removal is by file name (not "clear the level") so a job planned
+        against an older snapshot cannot swallow runs it never merged.
+        """
+        input_names = {run.name for run in job.inputs}
+        if job.kind in ("leveled-l0", "tiered-l0", "full"):
+            version.level0 = [
+                run for run in version.level0 if run.name not in input_names
+            ]
+        if job.kind == "full":
+            for level in list(version.levels):
+                version.levels[level] = [
+                    run
+                    for run in version.levels[level]
+                    if run.name not in input_names
+                ]
+            version.install_level(job.output_level, outputs)
+            return
+        if job.kind == "leveled-l0":
+            version.install_level(1, outputs)
+        elif job.kind == "leveled-level":
+            version.levels[job.source_level] = [
+                run
+                for run in version.level_runs(job.source_level)
+                if run.name not in input_names
+            ]
+            version.install_level(job.output_level, outputs)
+        elif job.kind == "tiered-l0":
+            version.prepend_group(1, outputs)
+        elif job.kind == "tiered-level":
+            version.levels[job.source_level] = [
+                run
+                for run in version.level_runs(job.source_level)
+                if run.name not in input_names
+            ]
+            version.prepend_group(job.output_level, outputs)
+        else:
+            raise StoreError(f"unknown compaction job kind {job.kind!r}")
 
     # ------------------------------------------------------------------
     # Machinery
     # ------------------------------------------------------------------
-    def _merge_and_write(
+    def merge_runs(
         self, inputs: list[Run], output_level: int, drop_tombstones: bool
     ) -> list[Run]:
         """Merge input runs (newest wins) into size-capped output SSTs."""
         stats = self._env.stats
         start_ns = time.perf_counter_ns()
-        stats.compactions += 1
-        stats.compaction_bytes_read += sum(run.file_size for run in inputs)
+        stats.add(
+            compactions=1,
+            compaction_bytes_read=sum(run.file_size for run in inputs),
+        )
 
         sources = [
             (priority, run.reader.iterate_from(b""))
@@ -224,8 +313,10 @@ class Compactor:
         if writer is not None and writer.num_entries:
             outputs.append(self._finish_writer(writer, output_level))
 
-        stats.compaction_bytes_written += sum(run.file_size for run in outputs)
-        stats.compaction_time_ns += time.perf_counter_ns() - start_ns
+        stats.add(
+            compaction_bytes_written=sum(run.file_size for run in outputs),
+            compaction_time_ns=time.perf_counter_ns() - start_ns,
+        )
         return outputs
 
     def _new_writer(
@@ -245,7 +336,7 @@ class Compactor:
         )
         return Run(reader=reader, level=output_level)
 
-    def _destroy_runs(self, runs: Iterable[Run]) -> None:
+    def destroy_runs(self, runs: Iterable[Run]) -> None:
         """Delete input files; purge their cache and filter-dictionary state."""
         for run in runs:
             self._cache.remove_file(run.name)
@@ -254,6 +345,7 @@ class Compactor:
 
     def next_file_name(self, level: int) -> str:
         """Allocate a fresh SST file name (used by flush and compaction)."""
-        number = self._next_file_number
-        self._next_file_number += 1
+        with self._counter_lock:
+            number = self._next_file_number
+            self._next_file_number += 1
         return f"sst_{level}_{number:08d}.sst"

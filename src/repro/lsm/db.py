@@ -17,12 +17,46 @@ time) is charged to :class:`~repro.lsm.stats.PerfStats`.
 Workload statistics flow into a :class:`~repro.core.tuning.WorkloadTracker`;
 :meth:`DB.retune_filters` applies the §2.4 auto-tuner so post-compaction
 filter instances adopt the workload-optimal configuration.
+
+Concurrency model
+-----------------
+All maintenance (flush of a sealed memtable, one compaction step) runs as
+jobs on a pluggable scheduler (see :mod:`repro.lsm.scheduler`).  With
+``DBOptions.max_background_jobs == 0`` (the default) the scheduler is
+inline and the store behaves exactly like the historical fully-synchronous
+implementation.  With workers, a full active memtable *seals* into a
+read-only immutable queue (the WAL rotates with it) and writes continue
+while a worker flushes it.
+
+Readers never take the write path's locks.  Every read operation pins a
+*superversion* — an immutable ``(active memtable, sealed memtables, run
+metadata)`` triple swapped atomically under ``_sv_lock`` — so a query sees
+one consistent cut of the store even while installs happen mid-query.
+SST files replaced by a compaction are destroyed only once no pinned
+superversion can still reach them (epoch-based deferred deletion).
+
+Lock order (outer to inner): ``_write_lock`` → ``_mutex`` → ``_sv_lock``.
+``_write_lock`` serializes writers and seals; ``_mutex`` serializes
+version installs and the manifest; ``_sv_lock`` (a plain mutex, never held
+across I/O) guards the superversion pointer, refcounts, and the deferred
+deletion list; ``_job_lock`` guards the maintenance-job flags.
+
+Backpressure mirrors RocksDB's two write-stall triggers: past the
+*slowdown* thresholds each write is admitted immediately but charged
+``delayed_write_ns`` of modeled delay; past the *stop* thresholds (L0 run
+count, sealed-memtable backlog) the writer blocks — bounded by
+``write_stall_timeout_s``, after which it fails with
+:class:`~repro.errors.WriteStallTimeoutError` — until maintenance catches
+up.  The stop trigger only engages when maintenance actually runs in the
+background; inline maintenance can never fall behind its own writer.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -34,11 +68,12 @@ from repro.errors import (
     ReadOnlyStoreError,
     ReproError,
     StoreError,
+    WriteStallTimeoutError,
 )
 from repro.filters.base import FilterFactory, KeyFilter
 from repro.filters.rosetta_adapter import RosettaFilter
 from repro.lsm.block_cache import BlockCache
-from repro.lsm.compaction import Compactor
+from repro.lsm.compaction import CompactionJob, Compactor
 from repro.lsm.env import StorageEnv
 from repro.lsm.filter_integration import (
     FilterDictionary,
@@ -50,10 +85,11 @@ from repro.lsm.iterators import MergingIterator, live_entries
 from repro.lsm.memtable import MemTable
 from repro.lsm.options import DBOptions
 from repro.lsm.perf_context import QueryContext
+from repro.lsm.scheduler import InlineScheduler, ThreadPoolScheduler
 from repro.lsm.sstable import SSTMeta, SSTReader, SSTWriter
 from repro.lsm.stats import PerfStats, Stopwatch
 from repro.lsm.version import Run, Version
-from repro.lsm.wal import BATCH_OP, WriteAheadLog
+from repro.lsm.wal import BATCH_OP, WriteAheadLog, parse_wal_seq, wal_file_name
 from repro.lsm.write_batch import WriteBatch
 
 _MANIFEST = "MANIFEST.json"
@@ -61,6 +97,46 @@ _MANIFEST = "MANIFEST.json"
 _SST_NAME = re.compile(r"^sst_(\d+)_(\d+)\.sst$")
 
 __all__ = ["DB", "HealthReport"]
+
+
+class _Immutable:
+    """One sealed memtable bundled with the WAL file that backs it."""
+
+    __slots__ = ("memtable", "wal_name")
+
+    def __init__(self, memtable: MemTable, wal_name: str | None) -> None:
+        self.memtable = memtable
+        self.wal_name = wal_name
+
+
+class _SuperVersion:
+    """One immutable cut of the store a reader can pin.
+
+    ``immutables`` is newest-first; ``version`` is the run metadata.  The
+    object itself is frozen after install — a state change installs a new
+    superversion rather than mutating this one.  ``refs``/``epoch`` are
+    managed under ``DB._sv_lock`` only.
+    """
+
+    __slots__ = ("active", "immutables", "version", "refs", "epoch")
+
+    def __init__(
+        self,
+        active: MemTable,
+        immutables: tuple[_Immutable, ...],
+        version: Version,
+    ) -> None:
+        self.active = active
+        self.immutables = immutables
+        self.version = version
+        self.refs = 0
+        self.epoch = 0
+
+    def memtables(self) -> Iterator[MemTable]:
+        """Active then sealed memtables, newest to oldest."""
+        yield self.active
+        for immutable in self.immutables:
+            yield immutable.memtable
 
 
 @dataclass(frozen=True)
@@ -73,6 +149,12 @@ class HealthReport:
     way back.  The counters mirror the fault-handling fields of
     :class:`~repro.lsm.stats.PerfStats` so an operator sees every injected
     or real fault the store absorbed.
+
+    ``stall_state`` is the write-backpressure state machine's last
+    observation: ``"none"``, ``"slowdown"`` (writes admitted with modeled
+    delay), or ``"stopped"`` (a writer is / was blocked on the stop
+    trigger).  ``pending_immutables`` / ``level0_runs`` are the two
+    quantities the triggers watch.
     """
 
     mode: str
@@ -82,6 +164,14 @@ class HealthReport:
     io_retries: int
     filters_degraded: int
     background_errors: int
+    stall_state: str = "none"
+    pending_immutables: int = 0
+    level0_runs: int = 0
+    write_slowdowns: int = 0
+    write_stops: int = 0
+    write_stall_time_ns: int = 0
+    write_stall_timeouts: int = 0
+    workers: int = 0
 
     @property
     def ok(self) -> bool:
@@ -101,6 +191,11 @@ class HealthReport:
             f"io: {self.io_transient_errors} transient errors, "
             f"{self.io_retries} retries"
         )
+        if self.stall_state != "none" or self.write_stops or self.write_slowdowns:
+            parts.append(
+                f"writes: stall={self.stall_state}, "
+                f"{self.write_slowdowns} slowdowns, {self.write_stops} stops"
+            )
         return "; ".join(parts)
 
 
@@ -140,15 +235,36 @@ class DB:
             self._cache,
             self._filter_dictionary,
             filter_factory_provider=lambda: self._current_filter_factory,
-            on_version_change=self._write_manifest,
         )
-        self._version = Version()
-        self._memtable = MemTable()
-        self._wal = (
-            WriteAheadLog(self._env, sync=self.options.wal_sync)
-            if self.options.use_wal
-            else None
-        )
+
+        scheduler_factory = self.options.scheduler_factory
+        if scheduler_factory is not None:
+            self._scheduler = scheduler_factory(self.options)
+        elif self.options.max_background_jobs > 0:
+            self._scheduler = ThreadPoolScheduler(self.options.max_background_jobs)
+        else:
+            self._scheduler = InlineScheduler()
+        self._concurrent = bool(getattr(self._scheduler, "concurrent", False))
+
+        # Lock order: _write_lock -> _mutex -> _sv_lock.  The first two
+        # come from the scheduler so the deterministic torture scheduler
+        # can yield inside them; _sv_lock/_job_lock are plain mutexes that
+        # are never held across I/O.
+        self._write_lock = self._scheduler.make_lock()
+        self._mutex = self._scheduler.make_lock()
+        self._sv_lock = threading.Lock()
+        self._job_lock = threading.Lock()
+        self._maintenance_inflight = False
+        self._maintenance_rearm = False
+        self._stall_state = "none"
+
+        self._epoch = 0
+        self._zombies: list[tuple[int, list[Run]]] = []
+        self._live_svs: list[_SuperVersion] = []
+        self._super: _SuperVersion | None = None
+        self._wal_seq = 0
+        self._active_wal: WriteAheadLog | None = None
+
         self._closed = False
         #: Description of the background failure that degraded the store
         #: to read-only, or None when healthy (see :meth:`health`).
@@ -156,6 +272,12 @@ class DB:
         #: Per-query performance context of the most recent read operation.
         self.last_query: QueryContext | None = None
         self._recover()
+        # Only now start interleaving: recovery I/O runs before any job
+        # exists, so it never consumes scheduler randomness.
+        if self._concurrent:
+            self._env.yield_hook = self._scheduler.sync_point
+            if self._super.immutables:
+                self._schedule_maintenance()
 
     # ------------------------------------------------------------------
     # Key codec
@@ -173,6 +295,73 @@ class DB:
         return int.from_bytes(key, "big")
 
     # ------------------------------------------------------------------
+    # Superversion management
+    # ------------------------------------------------------------------
+    def _ref_super(self) -> _SuperVersion:
+        """Pin the current superversion for the duration of one read."""
+        with self._sv_lock:
+            sv = self._super
+            sv.refs += 1
+            return sv
+
+    def _unref_super(self, sv: _SuperVersion) -> None:
+        """Release a pin; destroy any runs that just became unreachable."""
+        with self._sv_lock:
+            sv.refs -= 1
+            if sv.refs == 0 and sv in self._live_svs:
+                self._live_svs.remove(sv)
+            ready = self._collect_zombies_locked()
+        if ready:
+            self._destroy_zombies(ready)
+
+    def _install_super(
+        self, new_sv: _SuperVersion, obsolete: Sequence[Run] = ()
+    ) -> None:
+        """Atomically publish ``new_sv`` (caller holds ``_mutex``).
+
+        ``obsolete`` runs are queued for deferred deletion: they are
+        destroyed only once every superversion older than this install has
+        been released, so an in-flight reader never loses a file under its
+        feet.
+        """
+        with self._sv_lock:
+            old = self._super
+            self._epoch += 1
+            new_sv.epoch = self._epoch
+            new_sv.refs = 1  # the DB's own reference
+            self._live_svs.append(new_sv)
+            self._super = new_sv
+            if obsolete:
+                self._zombies.append((self._epoch, list(obsolete)))
+            if old is not None:
+                old.refs -= 1
+                if old.refs == 0:
+                    self._live_svs.remove(old)
+            ready = self._collect_zombies_locked()
+        if ready:
+            self._destroy_zombies(ready)
+        self._scheduler.notify()
+
+    def _collect_zombies_locked(self) -> list[Run] | None:
+        """Zombie runs whose epoch no live superversion predates."""
+        if not self._zombies or not self._live_svs:
+            return None
+        min_epoch = min(sv.epoch for sv in self._live_svs)
+        ready = [runs for epoch, runs in self._zombies if epoch <= min_epoch]
+        if not ready:
+            return None
+        self._zombies = [z for z in self._zombies if z[0] > min_epoch]
+        return [run for runs in ready for run in runs]
+
+    def _destroy_zombies(self, runs: list[Run]) -> None:
+        try:
+            self._compactor.destroy_runs(runs)
+        except (PowerCutError, ClosedStoreError):
+            raise
+        except (OSError, ReproError) as exc:
+            self._enter_background_error("compaction", exc)
+
+    # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     def put(self, key: int, value: bytes) -> None:
@@ -180,22 +369,28 @@ class DB:
         self._check_open()
         self._check_writable()
         encoded = self._encode_key(key)
-        if self._wal is not None:
-            self._wal.append_put(encoded, value)
-        self._memtable.put(encoded, bytes(value))
-        self.stats.writes += 1
-        self._maybe_flush()
+        with self._write_lock:
+            self._check_open()
+            self._apply_backpressure()
+            if self._active_wal is not None:
+                self._active_wal.append_put(encoded, value)
+            self._super.active.put(encoded, bytes(value))
+            self.stats.add(writes=1)
+            self._maybe_seal()
 
     def delete(self, key: int) -> None:
         """Delete a key (writes a tombstone)."""
         self._check_open()
         self._check_writable()
         encoded = self._encode_key(key)
-        if self._wal is not None:
-            self._wal.append_delete(encoded)
-        self._memtable.delete(encoded)
-        self.stats.writes += 1
-        self._maybe_flush()
+        with self._write_lock:
+            self._check_open()
+            self._apply_backpressure()
+            if self._active_wal is not None:
+                self._active_wal.append_delete(encoded)
+            self._super.active.delete(encoded)
+            self.stats.add(writes=1)
+            self._maybe_seal()
 
     def put_batch(self, items: Iterable[tuple[int, bytes]]) -> None:
         """Insert many items through the normal write path."""
@@ -220,15 +415,19 @@ class DB:
                     f"batched key {decoded} outside domain "
                     f"[0, 2^{self.options.key_bits})"
                 )
-        if self._wal is not None:
-            self._wal.append_batch(batch.encode())
-        for tag, key, value in batch:
-            if tag == ValueTag.PUT:
-                self._memtable.put(key, value)
-            else:
-                self._memtable.delete(key)
-        self.stats.writes += len(batch)
-        self._maybe_flush()
+        with self._write_lock:
+            self._check_open()
+            self._apply_backpressure()
+            if self._active_wal is not None:
+                self._active_wal.append_batch(batch.encode())
+            active = self._super.active
+            for tag, key, value in batch:
+                if tag == ValueTag.PUT:
+                    active.put(key, value)
+                else:
+                    active.delete(key)
+            self.stats.add(writes=len(batch))
+            self._maybe_seal()
 
     def batch(self) -> "WriteBatch":
         """A fresh :class:`WriteBatch` whose keys are encoded by this DB.
@@ -252,71 +451,301 @@ class DB:
 
         return _IntBatch()
 
-    def _maybe_flush(self) -> None:
-        if self._memtable.approximate_bytes >= self.options.memtable_size_bytes:
-            self.flush()
+    # ------------------------------------------------------------------
+    # Write backpressure (caller holds _write_lock)
+    # ------------------------------------------------------------------
+    def _stall_conditions(self) -> tuple[bool, bool]:
+        """Current ``(slowdown, stop)`` trigger state."""
+        sv = self._super
+        level0 = len(sv.version.level0)
+        backlog = len(sv.immutables)
+        opts = self.options
+        stop = self._concurrent and (
+            level0 >= opts.level0_stop_writes_trigger
+            or backlog >= opts.max_immutable_memtables
+        )
+        slowdown = (
+            level0 >= opts.level0_slowdown_writes_trigger
+            or backlog >= max(1, opts.max_immutable_memtables - 1)
+        )
+        return slowdown, stop
+
+    def _apply_backpressure(self) -> None:
+        """Admit, slow, or stop this write based on maintenance debt.
+
+        Stop = a real bounded block (the RocksDB stop trigger): wait until
+        maintenance drains below the trigger, the store degrades, or
+        ``write_stall_timeout_s`` elapses — then
+        :class:`WriteStallTimeoutError`.  Slowdown = the write proceeds but
+        is charged ``delayed_write_ns`` of modeled delay (no real sleep),
+        so benchmarks observe the stall without timing jitter.
+        """
+        self._check_writable()
+        slowdown, stop = self._stall_conditions()
+        if stop:
+            self.stats.add(write_stops=1)
+            self._stall_state = "stopped"
+            self._schedule_maintenance()
+            started = time.perf_counter_ns()
+
+            def cleared() -> bool:
+                if self._background_error is not None or self._closed:
+                    return True
+                return not self._stall_conditions()[1]
+
+            drained = self._scheduler.wait_for(
+                cleared, self.options.write_stall_timeout_s
+            )
+            self.stats.add(
+                write_stall_time_ns=time.perf_counter_ns() - started
+            )
+            if not drained:
+                self.stats.add(write_stall_timeouts=1)
+                raise WriteStallTimeoutError(
+                    f"write stalled longer than "
+                    f"{self.options.write_stall_timeout_s}s "
+                    f"(L0={len(self._super.version.level0)}, "
+                    f"sealed={len(self._super.immutables)})"
+                )
+            self._check_open()
+            self._check_writable()
+            slowdown = self._stall_conditions()[0]
+        if slowdown:
+            self.stats.add(
+                write_slowdowns=1,
+                write_delay_time_ns=self.options.delayed_write_ns,
+            )
+            self._stall_state = "slowdown"
+        else:
+            self._stall_state = "none"
+
+    # ------------------------------------------------------------------
+    # Sealing and background maintenance
+    # ------------------------------------------------------------------
+    def _maybe_seal(self) -> None:
+        if (
+            self._super.active.approximate_bytes
+            >= self.options.memtable_size_bytes
+        ):
+            if self._seal_active():
+                self._schedule_maintenance()
+
+    def _seal_active(self) -> bool:
+        """Rotate the active memtable into the immutable queue.
+
+        The WAL rotates with it: the sealed memtable keeps its log file
+        (deleted only after its flush lands) and subsequent writes go to a
+        fresh one.  Pure metadata — no I/O happens here, so a seal cannot
+        fail.  Caller holds ``_write_lock``.
+        """
+        if self._super.active.is_empty:
+            return False
+        with self._mutex:
+            sv = self._super
+            bundle = _Immutable(
+                sv.active,
+                self._active_wal.name if self._active_wal is not None else None,
+            )
+            new_sv = _SuperVersion(
+                MemTable(), (bundle,) + sv.immutables, sv.version
+            )
+            if self._active_wal is not None:
+                self._wal_seq += 1
+                self._active_wal = WriteAheadLog(
+                    self._env,
+                    wal_file_name(self._wal_seq),
+                    sync=self.options.wal_sync,
+                )
+            self._install_super(new_sv)
+        self.stats.add(memtable_seals=1)
+        return True
+
+    def _schedule_maintenance(self) -> None:
+        """Ensure one maintenance job is (or will be) running."""
+        if self._closed:
+            return
+        with self._job_lock:
+            if self._maintenance_inflight:
+                self._maintenance_rearm = True
+                return
+            self._maintenance_inflight = True
+        self._scheduler.submit("maintenance", self._maintenance_job)
+
+    def _maintenance_job(self) -> None:
+        """Drain maintenance debt: flush sealed memtables, then compact.
+
+        One job instance runs at a time; work submitted while it runs sets
+        the re-arm flag instead of spawning a second job.  A background
+        error stops the loop (the store is read-only until ``resume``).
+        """
+        try:
+            while True:
+                while self._background_error is None:
+                    if not self._maintenance_step():
+                        break
+                with self._job_lock:
+                    if self._maintenance_rearm and self._background_error is None:
+                        self._maintenance_rearm = False
+                        continue
+                    self._maintenance_inflight = False
+                    self._maintenance_rearm = False
+                    break
+        except BaseException:
+            with self._job_lock:
+                self._maintenance_inflight = False
+                self._maintenance_rearm = False
+            raise
+        finally:
+            self._scheduler.notify()
+
+    def _maintenance_step(self) -> bool:
+        """One unit of background work; False when nothing (more) to do."""
+        sv = self._super
+        if sv.immutables:
+            return self._run_background("flush", self._flush_oldest_immutable)
+        job = self._compactor.plan(sv.version)
+        if job is None:
+            return False
+        return self._run_background(
+            "compaction", lambda: self._run_compaction_job(job)
+        )
+
+    def _flush_oldest_immutable(self) -> None:
+        """Flush the oldest sealed memtable to a new L0 SST.
+
+        Durability ordering: the SST is written (synced) and the manifest
+        persisted *before* the sealed memtable's WAL file is deleted — a
+        crash between any two steps recovers either from the WAL or from
+        the manifest, never from neither.
+        """
+        sv = self._super
+        if not sv.immutables:
+            return
+        bundle = sv.immutables[-1]  # oldest
+        run: Run | None = None
+        if not bundle.memtable.is_empty:
+            name = self._compactor.next_file_name(0)
+            writer = SSTWriter(
+                self._env,
+                name,
+                self.options,
+                filter_factory=self._current_filter_factory,
+            )
+            for key, tag, value in bundle.memtable.entries():
+                writer.add(key, tag, value)
+            meta = writer.finish()
+            reader = SSTReader(
+                self._env, meta, self.options, self._cache, is_level0=True
+            )
+            run = Run(reader=reader, level=0)
+        with self._mutex:
+            current = self._super
+            new_version = current.version
+            if run is not None:
+                new_version = current.version.clone()
+                new_version.add_level0(run)
+                self._write_manifest(new_version)
+            new_sv = _SuperVersion(
+                current.active, current.immutables[:-1], new_version
+            )
+            self._install_super(new_sv)
+        # Only now is the run durable under the manifest; dropping the
+        # logged copy can no longer lose acknowledged writes.
+        if bundle.wal_name is not None:
+            self._env.delete_file(bundle.wal_name)
+        if run is not None:
+            self.stats.add(flushes=1)
+
+    def _run_compaction_job(self, job: CompactionJob) -> None:
+        """Execute one planned compaction and install its result.
+
+        The merge runs unlocked (it only reads immutable SSTs); the
+        metadata swap happens on a version clone under ``_mutex`` with the
+        manifest persisted before the new superversion is published.
+        Input files become zombies, destroyed once unreferenced.
+        """
+        outputs = self._compactor.execute(job)
+        with self._mutex:
+            current = self._super
+            new_version = current.version.clone()
+            self._compactor.apply(new_version, job, outputs)
+            self._write_manifest(new_version)
+            new_sv = _SuperVersion(
+                current.active, current.immutables, new_version
+            )
+            self._install_super(new_sv, obsolete=job.inputs)
+
+    def _settle_triggers(self) -> None:
+        """Run planned compactions until the tree is in shape (foreground)."""
+        while self._background_error is None:
+            job = self._compactor.plan(self._super.version)
+            if job is None:
+                return
+            if not self._run_background(
+                "compaction", lambda: self._run_compaction_job(job)
+            ):
+                return
+
+    def _drain_maintenance(self, timeout_s: float = 60.0) -> bool:
+        """Wait until background maintenance is idle (or the store degrades)."""
+        if not self._concurrent:
+            return True
+
+        def settled() -> bool:
+            if self._background_error is not None:
+                return True
+            with self._job_lock:
+                inflight = self._maintenance_inflight
+            return not inflight and not self._super.immutables
+
+        return self._scheduler.wait_for(settled, timeout_s)
+
+    def wait_idle(self, timeout_s: float = 60.0) -> bool:
+        """Block until no background maintenance is pending or running.
+
+        Returns True when the store settled (or runs inline, where there
+        is never pending work); False on timeout.  A store parked in
+        degraded mode counts as settled — the pending work cannot proceed
+        until :meth:`resume`.
+        """
+        self._check_open()
+        return self._drain_maintenance(timeout_s)
 
     def flush(self) -> None:
-        """Flush the memtable to a new L0 SST file and run compactions.
+        """Flush buffered writes to L0 SSTs and settle compaction triggers.
 
-        A failing background write does not raise: the store enters
-        degraded read-only mode (see :meth:`health` / :meth:`resume`) with
-        the memtable and WAL intact, so no acknowledged write is lost.
-
-        Durability ordering: the SST is written and the manifest persisted
-        (atomically) *before* the WAL is truncated — a crash between any
-        two steps recovers either from the WAL or from the manifest, never
-        from neither.
+        A synchronous barrier regardless of background workers: the active
+        memtable seals and the call returns only once every sealed
+        memtable is flushed (or the store degraded).  A failing background
+        write does not raise: the store enters degraded read-only mode
+        (see :meth:`health` / :meth:`resume`) with the sealed memtables
+        and their WAL files intact, so no acknowledged write is lost.
         """
         self._check_open()
         self._check_writable()
-        self._run_background("flush", self._flush_body)
-
-    def _flush_body(self) -> None:
-        if self._memtable.is_empty:
-            return
-        name = self._compactor.next_file_name(0)
-        writer = SSTWriter(
-            self._env, name, self.options,
-            filter_factory=self._current_filter_factory,
-        )
-        for key, tag, value in self._memtable.entries():
-            writer.add(key, tag, value)
-        meta = writer.finish()
-        reader = SSTReader(
-            self._env, meta, self.options, self._cache, is_level0=True
-        )
-        self._version.add_level0(Run(reader=reader, level=0))
-        self._write_manifest()
-        # Only now is the run durable under the manifest; dropping the
-        # buffered copies can no longer lose acknowledged writes.
-        self._memtable = MemTable()
-        if self._wal is not None:
-            self._wal.truncate()
-        self.stats.flushes += 1
-        self._compactor.maybe_compact(self._version)
+        with self._write_lock:
+            sealed = self._seal_active()
+        if sealed or self._super.immutables:
+            self._schedule_maintenance()
+            self._drain_maintenance()
 
     def compact(self) -> None:
         """Force L0 into the tree and settle all compaction triggers."""
         self._check_open()
         self._check_writable()
-        if not self._run_background("flush", self._flush_body):
-            return
-        if self._version.level0:
-            self._run_background("compaction", self._compact_body)
-
-    def _compact_body(self) -> None:
-        if self.options.compaction_style == "tiered":
-            inputs = self._version.level_runs(0)
-            self._compactor._tiered_merge(  # noqa: SLF001
-                self._version, inputs, target=1
-            )
-            self._version.clear_level0()
-            self._write_manifest()
-            self._compactor._destroy_runs(inputs)  # noqa: SLF001
-        else:
-            self._compactor._compact_level0(self._version)  # noqa: SLF001
-        self._compactor.maybe_compact(self._version)
+        with self._write_lock:
+            if self._seal_active() or self._super.immutables:
+                self._schedule_maintenance()
+                if not self._drain_maintenance():
+                    return
+            if self._background_error is not None:
+                return
+            job = self._compactor.forced_l0_job(self._super.version)
+            if job is not None:
+                if self._run_background(
+                    "compaction", lambda: self._run_compaction_job(job)
+                ):
+                    self._settle_triggers()
 
     def force_full_compaction(self) -> None:
         """Merge every run into the bottom-most populated level.
@@ -328,24 +757,18 @@ class DB:
         """
         self._check_open()
         self._check_writable()
-        if not self._run_background("flush", self._flush_body):
-            return
-        self._run_background("compaction", self._full_compaction_body)
-
-    def _full_compaction_body(self) -> None:
-        inputs = self._version.all_runs_newest_first()
-        if not inputs:
-            return
-        target = max(1, self._version.max_populated_level())
-        outputs = self._compactor._merge_and_write(  # noqa: SLF001
-            inputs, output_level=target, drop_tombstones=True
-        )
-        self._version.clear_level0()
-        for level in list(self._version.levels):
-            self._version.install_level(level, [])
-        self._version.install_level(target, outputs)
-        self._write_manifest()
-        self._compactor._destroy_runs(inputs)  # noqa: SLF001
+        with self._write_lock:
+            if self._seal_active() or self._super.immutables:
+                self._schedule_maintenance()
+                if not self._drain_maintenance():
+                    return
+            if self._background_error is not None:
+                return
+            job = self._compactor.full_compaction_job(self._super.version)
+            if job is not None:
+                self._run_background(
+                    "compaction", lambda: self._run_compaction_job(job)
+                )
 
     # ------------------------------------------------------------------
     # Background-error state machine
@@ -367,8 +790,10 @@ class DB:
             return False
 
     def _enter_background_error(self, op: str, exc: BaseException) -> None:
-        self._background_error = f"{op}: {type(exc).__name__}: {exc}"
-        self.stats.background_errors += 1
+        with self._mutex:
+            self._background_error = f"{op}: {type(exc).__name__}: {exc}"
+        self.stats.add(background_errors=1)
+        self._scheduler.notify()
 
     def _check_writable(self) -> None:
         if self._background_error is not None:
@@ -379,6 +804,7 @@ class DB:
 
     def health(self) -> HealthReport:
         """The store's current fault state (always readable, never raises)."""
+        sv = self._super
         return HealthReport(
             mode="degraded" if self._background_error is not None else "healthy",
             background_error=self._background_error,
@@ -387,22 +813,36 @@ class DB:
             io_retries=self.stats.io_retries,
             filters_degraded=self.stats.filters_degraded,
             background_errors=self.stats.background_errors,
+            stall_state=self._stall_state,
+            pending_immutables=len(sv.immutables) if sv is not None else 0,
+            level0_runs=len(sv.version.level0) if sv is not None else 0,
+            write_slowdowns=self.stats.write_slowdowns,
+            write_stops=self.stats.write_stops,
+            write_stall_time_ns=self.stats.write_stall_time_ns,
+            write_stall_timeouts=self.stats.write_stall_timeouts,
+            workers=self.options.max_background_jobs,
         )
 
     def resume(self) -> bool:
-        """Leave degraded read-only mode and retry the pending flush.
+        """Leave degraded read-only mode and retry the pending maintenance.
 
         Mirrors RocksDB's ``DB::Resume``: clears the background error and
-        re-attempts flushing whatever the failed background write left
-        buffered.  Returns True when the store is writable again (a fresh
-        failure re-enters degraded mode and returns False).
+        re-attempts whatever the failed background write left behind —
+        sealed memtables flush again (their WALs were kept), interrupted
+        compactions re-plan.  The retry runs wherever maintenance normally
+        runs (inline or on a worker).  Returns True when the store is
+        writable again (a fresh failure re-enters degraded mode and
+        returns False).
         """
         self._check_open()
         if self._background_error is None:
             return True
-        self._background_error = None
-        if not self._memtable.is_empty:
-            self._run_background("flush", self._flush_body)
+        with self._mutex:
+            self._background_error = None
+        self._stall_state = "none"
+        if self._super.immutables or self._compactor.plan(self._super.version):
+            self._schedule_maintenance()
+            self._drain_maintenance()
         return self._background_error is None
 
     # ------------------------------------------------------------------
@@ -421,43 +861,56 @@ class DB:
         pairs = sorted(items, key=lambda kv: kv[0])
         if not pairs:
             return
-        if level is None:
-            estimated = sum(
-                self.options.key_width_bytes + len(v) + 8 for _, v in pairs
-            )
-            level = 1
-            while (
-                level < self.options.num_levels - 1
-                and estimated > self.options.level_target_bytes(level)
-            ):
-                level += 1
-        if not 1 <= level < self.options.num_levels:
-            raise StoreError(f"ingest level {level} out of range")
-        if self._version.level_runs(level):
-            raise StoreError(f"ingest target level {level} is not empty")
-
-        runs: list[Run] = []
-        writer: SSTWriter | None = None
-        previous: int | None = None
-        for key, value in pairs:
-            if key == previous:
-                continue
-            previous = key
-            if writer is None:
-                writer = SSTWriter(
-                    self._env,
-                    self._compactor.next_file_name(level),
-                    self.options,
-                    filter_factory=self._current_filter_factory,
+        with self._write_lock:
+            self._drain_maintenance()
+            if level is None:
+                estimated = sum(
+                    self.options.key_width_bytes + len(v) + 8 for _, v in pairs
                 )
-            writer.add(self._encode_key(key), ValueTag.PUT, bytes(value))
-            if writer.estimated_file_size >= self.options.sst_size_bytes:
+                level = 1
+                while (
+                    level < self.options.num_levels - 1
+                    and estimated > self.options.level_target_bytes(level)
+                ):
+                    level += 1
+            if not 1 <= level < self.options.num_levels:
+                raise StoreError(f"ingest level {level} out of range")
+            if self._super.version.level_runs(level):
+                raise StoreError(f"ingest target level {level} is not empty")
+
+            runs: list[Run] = []
+            writer: SSTWriter | None = None
+            previous: int | None = None
+            for key, value in pairs:
+                if key == previous:
+                    continue
+                previous = key
+                if writer is None:
+                    writer = SSTWriter(
+                        self._env,
+                        self._compactor.next_file_name(level),
+                        self.options,
+                        filter_factory=self._current_filter_factory,
+                    )
+                writer.add(self._encode_key(key), ValueTag.PUT, bytes(value))
+                if writer.estimated_file_size >= self.options.sst_size_bytes:
+                    runs.append(self._finish_ingest_writer(writer, level))
+                    writer = None
+            if writer is not None and writer.num_entries:
                 runs.append(self._finish_ingest_writer(writer, level))
-                writer = None
-        if writer is not None and writer.num_entries:
-            runs.append(self._finish_ingest_writer(writer, level))
-        self._version.install_level(level, runs)
-        self._write_manifest()
+            with self._mutex:
+                current = self._super
+                if current.version.level_runs(level):
+                    raise StoreError(
+                        f"ingest target level {level} is not empty"
+                    )
+                new_version = current.version.clone()
+                new_version.install_level(level, runs)
+                self._write_manifest(new_version)
+                new_sv = _SuperVersion(
+                    current.active, current.immutables, new_version
+                )
+                self._install_super(new_sv)
 
     def _finish_ingest_writer(self, writer: SSTWriter, level: int) -> Run:
         meta = writer.finish()
@@ -472,20 +925,22 @@ class DB:
     def get(self, key: int) -> bytes | None:
         """Point lookup; returns None for absent or deleted keys."""
         self._check_open()
-        self.stats.point_queries += 1
+        self.stats.add(point_queries=1)
         self.tracker.record_point_query()
         encoded = self._encode_key(key)
         context = QueryContext(kind="point", low=int(key), high=int(key))
         before = self.stats.snapshot()
+        sv = self._ref_super()
         try:
-            buffered = self._memtable.get(encoded)
-            if buffered is not None:
-                tag, value = buffered
-                context.memtable_hit = True
-                context.results = 1 if tag == ValueTag.PUT else 0
-                return value if tag == ValueTag.PUT else None
+            for memtable in sv.memtables():
+                buffered = memtable.get(encoded)
+                if buffered is not None:
+                    tag, value = buffered
+                    context.memtable_hit = True
+                    context.results = 1 if tag == ValueTag.PUT else 0
+                    return value if tag == ValueTag.PUT else None
 
-            runs = self._version.runs_for_key(encoded)
+            runs = sv.version.runs_for_key(encoded)
             context.runs_considered = len(runs)
             for run in runs:
                 verdict = self._probe_filter_point(run, encoded)
@@ -504,22 +959,18 @@ class DB:
                     return value if tag == ValueTag.PUT else None
             return None
         finally:
-            delta = self.stats.diff(before)
-            context.filters_probed = delta.filter_probes
-            context.filter_negatives = delta.filter_negatives
-            context.blocks_read = delta.block_reads
-            context.block_cache_hits = delta.block_cache_hits
-            self.last_query = context
+            self._finish_context(context, before)
+            self._unref_super(sv)
 
     def _probe_filter_point(self, run: Run, encoded: bytes) -> bool:
         filt = self._filter_dictionary.get_filter(run.reader, self.stats)
         if filt is None:
             return True  # fence pointers only
-        self.stats.filter_probes += 1
+        self.stats.add(filter_probes=1)
         with Stopwatch(self.stats, "filter_probe_ns"):
             verdict = filt.may_contain(self._decode_key(encoded))
         if not verdict:
-            self.stats.filter_negatives += 1
+            self.stats.add(filter_negatives=1)
             self.tracker.record_filter_outcome(False, False)
         return verdict
 
@@ -535,62 +986,72 @@ class DB:
         self._check_open()
         if low > high:
             raise FilterQueryError(f"invalid range: low={low} > high={high}")
-        self.stats.range_queries += 1
+        self.stats.add(range_queries=1)
         self.tracker.record_range_query(high - low + 1)
         low_bytes = self._encode_key(low)
         high_bytes = self._encode_key(min(high, (1 << self.options.key_bits) - 1))
         context = QueryContext(kind="range", low=low, high=high)
         before = self.stats.snapshot()
 
-        candidates = self._version.runs_for_range(low_bytes, high_bytes)
-        context.runs_considered = len(candidates)
-        positive_runs: list[tuple[Run, bytes]] = []
-        effectives = self._probe_filters_range(candidates, low, high)
-        for run, effective in zip(candidates, effectives):
-            if effective is not None:
-                seek_key = max(low_bytes, self._encode_key(effective[0]))
-                positive_runs.append((run, seek_key))
+        results: list[tuple[int, bytes]] = []
+        sv = self._ref_super()
+        try:
+            candidates = sv.version.runs_for_range(low_bytes, high_bytes)
+            context.runs_considered = len(candidates)
+            positive_runs: list[tuple[Run, bytes]] = []
+            effectives = self._probe_filters_range(candidates, low, high)
+            for run, effective in zip(candidates, effectives):
+                if effective is not None:
+                    seek_key = max(low_bytes, self._encode_key(effective[0]))
+                    positive_runs.append((run, seek_key))
 
-        memtable_live = not self._memtable.is_empty
-        if not positive_runs and not memtable_live:
-            # "If all filters answer negative, we delete the iterator and
-            # return an empty result" — still a (small) residual cost.
+            live_memtables = [m for m in sv.memtables() if not m.is_empty]
+            if not positive_runs and not live_memtables:
+                # "If all filters answer negative, we delete the iterator
+                # and return an empty result" — still a (small) residual cost.
+                with Stopwatch(self.stats, "residual_seek_ns"):
+                    pass
+                self._finish_context(context, before)
+                return
+
             with Stopwatch(self.stats, "residual_seek_ns"):
-                pass
-            self._finish_context(context, before)
-            return
-
-        with Stopwatch(self.stats, "residual_seek_ns"):
-            contributed: dict[str, bool] = {run.name: False for run, _ in positive_runs}
-            sources: list[tuple[int, Iterator]] = []
-            priority = 0
-            if memtable_live:
-                sources.append(
-                    (priority, self._memtable.entries_from(low_bytes))
-                )
-                priority += 1
-            order = {run.name: i for i, (run, _) in enumerate(positive_runs)}
-            for run, seek_key in positive_runs:
-                sources.append(
-                    (
-                        priority + order[run.name],
-                        self._tracking_iter(run, seek_key, high_bytes, contributed),
+                contributed: dict[str, bool] = {
+                    run.name: False for run, _ in positive_runs
+                }
+                sources: list[tuple[int, Iterator]] = []
+                priority = 0
+                for memtable in live_memtables:
+                    sources.append(
+                        (priority, memtable.entries_from(low_bytes))
                     )
-                )
-            context.iterators_created = len(sources)
-            merged = MergingIterator(sources)
-            results: list[tuple[int, bytes]] = []
-            for key, value in live_entries(merged):
-                if key > high_bytes:
-                    break
-                results.append((self._decode_key(key), value))
+                    priority += 1
+                order = {
+                    run.name: i for i, (run, _) in enumerate(positive_runs)
+                }
+                for run, seek_key in positive_runs:
+                    sources.append(
+                        (
+                            priority + order[run.name],
+                            self._tracking_iter(
+                                run, seek_key, high_bytes, contributed
+                            ),
+                        )
+                    )
+                context.iterators_created = len(sources)
+                merged = MergingIterator(sources)
+                for key, value in live_entries(merged):
+                    if key > high_bytes:
+                        break
+                    results.append((self._decode_key(key), value))
 
-        for run, _ in positive_runs:
-            truly = contributed[run.name]
-            self._record_filter_outcome(run, positive=True, truly=truly)
-            self.tracker.record_filter_outcome(True, truly)
-        context.results = len(results)
-        self._finish_context(context, before)
+            for run, _ in positive_runs:
+                truly = contributed[run.name]
+                self._record_filter_outcome(run, positive=True, truly=truly)
+                self.tracker.record_filter_outcome(True, truly)
+            context.results = len(results)
+            self._finish_context(context, before)
+        finally:
+            self._unref_super(sv)
         yield from results
 
     def _finish_context(self, context: QueryContext, before: PerfStats) -> None:
@@ -634,22 +1095,22 @@ class DB:
             effectives, batch_sweeps = batched_tightened_ranges(
                 filters, low, high
             )
-        self.stats.filter_batch_probes += batch_sweeps
+        self.stats.add(filter_batch_probes=batch_sweeps)
         for filt, effective in zip(filters, effectives):
             if filt is None:
                 continue  # fence pointers already said "overlaps"
-            self.stats.filter_probes += 1
+            self.stats.add(filter_probes=1)
             if effective is None:
-                self.stats.filter_negatives += 1
+                self.stats.add(filter_negatives=1)
                 self.tracker.record_filter_outcome(False, False)
         return effectives
 
     def _record_filter_outcome(self, run: Run, positive: bool, truly: bool) -> None:
         if positive:
             if truly:
-                self.stats.filter_true_positives += 1
+                self.stats.add(filter_true_positives=1)
             else:
-                self.stats.filter_false_positives += 1
+                self.stats.add(filter_false_positives=1)
 
     def multi_get(self, keys: Iterable[int]) -> dict[int, bytes | None]:
         """Point-look-up many keys in one batched pass.
@@ -660,7 +1121,8 @@ class DB:
         * duplicate keys are deduplicated up front, so each distinct key
           runs the probe pipeline (and is counted in
           ``stats.point_queries``) exactly once;
-        * the memtable answers the whole batch in one pass;
+        * the memtables (active, then sealed, newest first) answer the
+          whole batch in one pass;
         * surviving keys are grouped per run, newest to oldest, and every
           run's filter answers its whole group with **one**
           :meth:`~repro.filters.base.KeyFilter.may_contain_batch` probe
@@ -688,8 +1150,7 @@ class DB:
         if not distinct:
             return {}
         encoded = [self._encode_key(key) for key in distinct]
-        self.stats.point_queries += len(distinct)
-        self.stats.multi_point_queries += 1
+        self.stats.add(point_queries=len(distinct), multi_point_queries=1)
         for _ in distinct:
             self.tracker.record_point_query()
         context = QueryContext(
@@ -701,12 +1162,18 @@ class DB:
         )
         before = self.stats.snapshot()
         values: dict[int, bytes | None] = {}
+        sv = self._ref_super()
         try:
             # Memtable pass: buffered entries (puts and tombstones) resolve
             # immediately and never reach the filters.
+            memtables = list(sv.memtables())
             pending: list[tuple[int, bytes]] = []
             for key, enc in zip(distinct, encoded):
-                buffered = self._memtable.get(enc)
+                buffered = None
+                for memtable in memtables:
+                    buffered = memtable.get(enc)
+                    if buffered is not None:
+                        break
                 if buffered is None:
                     pending.append((key, enc))
                     continue
@@ -716,7 +1183,7 @@ class DB:
 
             # Run passes, newest to oldest: one bulk filter probe per run
             # for the still-unresolved keys inside its fence span.
-            for run in self._version.all_runs_newest_first():
+            for run in sv.version.all_runs_newest_first():
                 if not pending:
                     break
                 group = [kv for kv in pending if run.overlaps(kv[1], kv[1])]
@@ -751,6 +1218,7 @@ class DB:
             return results
         finally:
             self._finish_context(context, before)
+            self._unref_super(sv)
 
     def _probe_filter_point_batch(
         self, run: Run, keys: list[int]
@@ -759,11 +1227,10 @@ class DB:
         filt = self._filter_dictionary.get_filter(run.reader, self.stats)
         with Stopwatch(self.stats, "filter_probe_ns"):
             verdicts, batch_sweeps = batched_point_verdicts(filt, keys)
-        self.stats.filter_batch_probes += batch_sweeps
+        self.stats.add(filter_batch_probes=batch_sweeps)
         if filt is not None:
-            self.stats.filter_probes += len(keys)
             negatives = len(keys) - sum(1 for v in verdicts if v)
-            self.stats.filter_negatives += negatives
+            self.stats.add(filter_probes=len(keys), filter_negatives=negatives)
             for _ in range(negatives):
                 self.tracker.record_filter_outcome(False, False)
         return verdicts
@@ -777,7 +1244,9 @@ class DB:
         deliberately bypasses the range filters: a scan reads the data
         anyway, so there is nothing for a filter to prune (the paper's
         filters matter for *selective* range queries, served by
-        :meth:`range_query`).
+        :meth:`range_query`).  The superversion pinned at creation stays
+        pinned until the iterator is exhausted or closed, so the scan is
+        stable even while flushes and compactions land mid-iteration.
         """
         self._check_open()
         start_bytes = self._encode_key(start if start is not None else 0)
@@ -786,19 +1255,28 @@ class DB:
             if end is not None
             else b"\xff" * self.options.key_width_bytes
         )
-        sources: list[tuple[int, Iterator]] = []
-        priority = 0
-        if not self._memtable.is_empty:
-            sources.append((priority, self._memtable.entries_from(start_bytes)))
-            priority += 1
-        for offset, run in enumerate(
-            self._version.runs_for_range(start_bytes, end_bytes)
-        ):
-            sources.append((priority + offset, run.reader.iterate_from(start_bytes)))
-        for key, value in live_entries(MergingIterator(sources)):
-            if key > end_bytes:
-                return
-            yield self._decode_key(key), value
+        sv = self._ref_super()
+        try:
+            sources: list[tuple[int, Iterator]] = []
+            priority = 0
+            for memtable in sv.memtables():
+                if not memtable.is_empty:
+                    sources.append(
+                        (priority, memtable.entries_from(start_bytes))
+                    )
+                    priority += 1
+            for offset, run in enumerate(
+                sv.version.runs_for_range(start_bytes, end_bytes)
+            ):
+                sources.append(
+                    (priority + offset, run.reader.iterate_from(start_bytes))
+                )
+            for key, value in live_entries(MergingIterator(sources)):
+                if key > end_bytes:
+                    return
+                yield self._decode_key(key), value
+        finally:
+            self._unref_super(sv)
 
     # ------------------------------------------------------------------
     # Adaptive tuning (§2.4)
@@ -857,10 +1335,14 @@ class DB:
         high_bytes = self._encode_key(
             min(high, (1 << self.options.key_bits) - 1)
         )
-        return sum(
-            run.reader.approximate_bytes_in_range(low_bytes, high_bytes)
-            for run in self._version.runs_for_range(low_bytes, high_bytes)
-        )
+        sv = self._ref_super()
+        try:
+            return sum(
+                run.reader.approximate_bytes_in_range(low_bytes, high_bytes)
+                for run in sv.version.runs_for_range(low_bytes, high_bytes)
+            )
+        finally:
+            self._unref_super(sv)
 
     def verify(self):
         """Walk every SST and validate checksums, ordering, and filters.
@@ -872,34 +1354,51 @@ class DB:
         from repro.lsm.verify import verify_version
 
         self._check_open()
-        return verify_version(self._version)
+        sv = self._ref_super()
+        try:
+            return verify_version(sv.version)
+        finally:
+            self._unref_super(sv)
 
     def describe(self) -> str:
         """Tree shape summary."""
+        sv = self._super
         memtable_line = (
-            f"memtable: {len(self._memtable)} entries, "
-            f"{self._memtable.approximate_bytes} bytes"
+            f"memtable: {len(sv.active)} entries, "
+            f"{sv.active.approximate_bytes} bytes"
         )
-        return memtable_line + "\n" + self._version.describe()
+        if sv.immutables:
+            sealed_entries = sum(len(i.memtable) for i in sv.immutables)
+            memtable_line += (
+                f"\nsealed: {len(sv.immutables)} memtables, "
+                f"{sealed_entries} entries"
+            )
+        return memtable_line + "\n" + sv.version.describe()
 
     def num_live_files(self) -> int:
         """Number of SST files currently in the tree."""
-        return self._version.total_files()
+        return self._super.version.total_files()
 
     @property
     def version(self) -> Version:
-        """The current level/run metadata (read-mostly)."""
-        return self._version
+        """The current level/run metadata (read-mostly snapshot)."""
+        return self._super.version
+
+    @property
+    def _version(self) -> Version:
+        # Backward-compatible alias (tests and tools peeked at the old
+        # attribute); the authoritative pointer lives in the superversion.
+        return self._super.version
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def _write_manifest(self) -> None:
+    def _write_manifest(self, version: Version) -> None:
         manifest = {
-            "level0": [run.name for run in self._version.level0],
+            "level0": [run.name for run in version.level0],
             "levels": {
                 str(level): [[run.name, run.group_id] for run in runs]
-                for level, runs in self._version.levels.items()
+                for level, runs in version.levels.items()
             },
             # Workload statistics survive restarts so the §2.4 tuner can
             # keep learning across sessions.
@@ -914,6 +1413,7 @@ class DB:
         )
 
     def _recover(self) -> None:
+        version = Version()
         referenced: set[str] = set()
         max_file_number = 0
         max_group_id = 0
@@ -931,7 +1431,7 @@ class DB:
                 reader = SSTReader(
                     self._env, meta, self.options, self._cache, is_level0=True
                 )
-                self._version.level0.append(Run(reader=reader, level=0))
+                version.level0.append(Run(reader=reader, level=0))
             for level_str, entries in manifest.get("levels", {}).items():
                 level = int(level_str)
                 runs = []
@@ -947,7 +1447,7 @@ class DB:
                 if runs:
                     # Preserve manifest (recency) order verbatim; tiered
                     # levels legitimately hold overlapping groups.
-                    self._version.levels[level] = runs
+                    version.levels[level] = runs
         # Recovery hygiene.  (1) Never reuse a live file name: a fresh
         # counter colliding with a recovered SST would let a later
         # compaction overwrite or delete live data.  (2) Purge obsolete
@@ -960,18 +1460,57 @@ class DB:
                 _SST_NAME.match(file_name) and file_name not in referenced
             ):
                 self._env.delete_file(file_name)
-        if self._wal is not None:
-            for op, key, value in self._wal.replay():
-                if op == BATCH_OP:
-                    for tag, bkey, bvalue in WriteBatch.decode(value):
-                        if tag == ValueTag.PUT:
-                            self._memtable.put(bkey, bvalue)
-                        else:
-                            self._memtable.delete(bkey)
-                elif op == ValueTag.PUT:
-                    self._memtable.put(key, value)
-                else:
-                    self._memtable.delete(key)
+
+        # WAL replay.  With rotation there may be several logs: every log
+        # but the newest belonged to a sealed-but-unflushed memtable, so
+        # each is rebuilt as an immutable bundle (flushed by the first
+        # maintenance pass); the newest becomes the active memtable.
+        active = MemTable()
+        immutables: list[_Immutable] = []
+        wal_seq = 0
+        if self.options.use_wal:
+            wal_seqs = sorted(
+                seq
+                for seq in (
+                    parse_wal_seq(name) for name in self._env.list_files()
+                )
+                if seq is not None
+            )
+            if wal_seqs:
+                for seq in wal_seqs[:-1]:
+                    memtable = MemTable()
+                    self._replay_wal_into(wal_file_name(seq), memtable)
+                    if memtable.is_empty:
+                        self._env.delete_file(wal_file_name(seq))
+                    else:
+                        immutables.append(
+                            _Immutable(memtable, wal_file_name(seq))
+                        )
+                wal_seq = wal_seqs[-1]
+                self._replay_wal_into(wal_file_name(wal_seq), active)
+            self._active_wal = WriteAheadLog(
+                self._env, wal_file_name(wal_seq), sync=self.options.wal_sync
+            )
+        self._wal_seq = wal_seq
+
+        sv = _SuperVersion(active, tuple(reversed(immutables)), version)
+        sv.refs = 1
+        self._super = sv
+        self._live_svs = [sv]
+
+    def _replay_wal_into(self, name: str, memtable: MemTable) -> None:
+        wal = WriteAheadLog(self._env, name, sync=self.options.wal_sync)
+        for op, key, value in wal.replay():
+            if op == BATCH_OP:
+                for tag, bkey, bvalue in WriteBatch.decode(value):
+                    if tag == ValueTag.PUT:
+                        memtable.put(bkey, bvalue)
+                    else:
+                        memtable.delete(bkey)
+            elif op == ValueTag.PUT:
+                memtable.put(key, value)
+            else:
+                memtable.delete(key)
 
     def _read_meta(self, name: str) -> SSTMeta:
         """Reconstruct SSTMeta by reading the file's meta block."""
@@ -997,25 +1536,52 @@ class DB:
     def close(self) -> None:
         """Flush if possible, persist the manifest, release file handles.
 
-        Safe in degraded read-only mode: the failing flush is skipped (the
-        WAL still holds the buffered writes), the manifest is persisted
-        best-effort, and nothing raises — so ``with DB(...)`` never throws
-        from ``__exit__`` because a background write failed earlier.
+        Joins background workers before returning.  Safe in degraded
+        read-only mode: the failing flush is skipped (the WAL still holds
+        the buffered writes), the manifest is persisted best-effort, and
+        nothing raises — so ``with DB(...)`` never throws from ``__exit__``
+        because a background write failed earlier.  Only a simulated power
+        cut propagates.
         """
         if self._closed:
             return
         try:
             if self._background_error is None:
-                self._run_background("flush", self._flush_body)
+                with self._write_lock:
+                    sealed = self._seal_active()
+                if sealed or self._super.immutables:
+                    self._schedule_maintenance()
+                    self._drain_maintenance()
             try:
-                self._write_manifest()
+                with self._mutex:
+                    self._write_manifest(self._super.version)
             except PowerCutError:
                 raise
             except (OSError, ReproError):
                 pass  # best-effort; the last durable manifest still stands
         finally:
-            self._env.close()
             self._closed = True
+            self._env.yield_hook = None
+            self._scheduler.close()
+            self._env.close()
+
+    def kill(self) -> None:
+        """Abandon the store without any further I/O (simulated power loss).
+
+        The torture harness's teardown after an injected power cut: no
+        flush, no manifest write — background jobs are unwound, worker
+        threads joined, and file handles dropped.  Whatever the crash left
+        on disk is exactly what recovery will see.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._env.yield_hook = None
+        self._scheduler.close(force=True)
+        try:
+            self._env.close()
+        except (OSError, ReproError):
+            pass
 
     def _check_open(self) -> None:
         if self._closed:

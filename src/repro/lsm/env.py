@@ -19,8 +19,9 @@ are read, and how many, is decided by the real code paths.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
-from typing import BinaryIO, Callable
+from typing import BinaryIO, Callable, Optional
 
 from repro.errors import TransientIOError
 from repro.lsm.stats import PerfStats
@@ -120,8 +121,23 @@ class StorageEnv:
         #: env retries nothing.
         self.retry_attempts = 0
         self.retry_backoff_ns = 0
+        #: Scheduler hook fired at the top of every durable operation
+        #: (write/append/sync/delete).  The DB points this at
+        #: ``scheduler.sync_point`` when a concurrent scheduler is active,
+        #: which is what lets the deterministic torture scheduler
+        #: interleave foreground and background work at exactly the
+        #: boundaries where crashes can occur.  Reads do not yield.
+        self.yield_hook: Optional[Callable[[str], None]] = None
         os.makedirs(root, exist_ok=True)
         self._handles: dict[str, BinaryIO] = {}
+        # Serializes shared read-handle use (seek+read is not atomic) and
+        # handle-cache mutation across foreground and worker threads.
+        self._handle_lock = threading.Lock()
+
+    def _yield(self, tag: str) -> None:
+        hook = self.yield_hook
+        if hook is not None:
+            hook(tag)
 
     # ------------------------------------------------------------------
     # Paths
@@ -151,9 +167,10 @@ class StorageEnv:
         ``sync=True`` marks the file durable at completion — the boundary a
         fault-injecting env uses to decide what a power cut may destroy.
         """
+        self._yield(f"write_file:{name}")
         with open(self.path(name), "wb") as handle:
             handle.write(payload)
-        self.stats.bytes_written += len(payload)
+        self.stats.add(bytes_written=len(payload))
 
     def write_file_atomic(
         self, name: str, payload: bytes, fsync: bool = False
@@ -164,6 +181,7 @@ class StorageEnv:
         ``os.replace``s it over the target, so a crash at any point leaves
         either the old file or the new one — never a torn mixture.
         """
+        self._yield(f"write_file_atomic:{name}")
         tmp = self.path(name + ".tmp")
         with open(tmp, "wb") as handle:
             handle.write(payload)
@@ -171,13 +189,14 @@ class StorageEnv:
             if fsync:
                 os.fsync(handle.fileno())
         os.replace(tmp, self.path(name))
-        self.stats.bytes_written += len(payload)
+        self.stats.add(bytes_written=len(payload))
 
     def append_file(self, name: str, payload: bytes) -> None:
         """Append to a log file (WAL); durable only after :meth:`sync_file`."""
+        self._yield(f"append_file:{name}")
         with open(self.path(name), "ab") as handle:
             handle.write(payload)
-        self.stats.bytes_written += len(payload)
+        self.stats.add(bytes_written=len(payload))
 
     def sync_file(self, name: str) -> None:
         """Durability barrier: appended bytes survive a power cut after this.
@@ -186,6 +205,7 @@ class StorageEnv:
         the hook exists so :class:`~repro.lsm.faults.FaultInjectionEnv` can
         track exactly which suffix of a log a crash is allowed to destroy.
         """
+        self._yield(f"sync_file:{name}")
 
     def read_block(self, name: str, offset: int, size: int) -> bytes:
         """Random block read, charged at device latency.
@@ -204,15 +224,18 @@ class StorageEnv:
         charged device time honest and makes on-disk corruption visible
         immediately.
         """
-        handle = self._handles.get(name)
-        if handle is None:
-            handle = open(self.path(name), "rb", buffering=0)
-            self._handles[name] = handle
-        handle.seek(offset)
-        payload = handle.read(size)
-        self.stats.block_reads += 1
-        self.stats.block_read_bytes += len(payload)
-        self.stats.block_read_time_ns += self.device.block_read_ns(len(payload))
+        with self._handle_lock:
+            handle = self._handles.get(name)
+            if handle is None:
+                handle = open(self.path(name), "rb", buffering=0)
+                self._handles[name] = handle
+            handle.seek(offset)
+            payload = handle.read(size)
+        self.stats.add(
+            block_reads=1,
+            block_read_bytes=len(payload),
+            block_read_time_ns=self.device.block_read_ns(len(payload)),
+        )
         return payload
 
     def read_file(self, name: str) -> bytes:
@@ -222,9 +245,11 @@ class StorageEnv:
     def _read_file_once(self, name: str) -> bytes:
         with open(self.path(name), "rb") as handle:
             payload = handle.read()
-        self.stats.block_reads += 1
-        self.stats.block_read_bytes += len(payload)
-        self.stats.block_read_time_ns += self.device.block_read_ns(len(payload))
+        self.stats.add(
+            block_reads=1,
+            block_read_bytes=len(payload),
+            block_read_time_ns=self.device.block_read_ns(len(payload)),
+        )
         return payload
 
     def _retry_read(self, op: Callable[[], bytes]) -> bytes:
@@ -233,18 +258,22 @@ class StorageEnv:
             try:
                 return op()
             except TransientIOError:
-                self.stats.io_transient_errors += 1
+                self.stats.add(io_transient_errors=1)
                 if attempt >= self.retry_attempts:
                     raise
-                self.stats.io_retries += 1
                 # Modeled backoff (no real sleep): doubles per attempt and
                 # lands in the same bucket as device latency.
-                self.stats.block_read_time_ns += self.retry_backoff_ns << attempt
+                self.stats.add(
+                    io_retries=1,
+                    block_read_time_ns=self.retry_backoff_ns << attempt,
+                )
                 attempt += 1
 
     def delete_file(self, name: str) -> None:
         """Remove a file (post-compaction cleanup)."""
-        handle = self._handles.pop(name, None)
+        self._yield(f"delete_file:{name}")
+        with self._handle_lock:
+            handle = self._handles.pop(name, None)
         if handle is not None:
             handle.close()
         if self.exists(name):
@@ -252,6 +281,8 @@ class StorageEnv:
 
     def close(self) -> None:
         """Close all cached read handles."""
-        for handle in self._handles.values():
+        with self._handle_lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
             handle.close()
-        self._handles.clear()

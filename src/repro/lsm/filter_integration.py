@@ -18,6 +18,7 @@ Three pieces:
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 from repro.core import doubting
@@ -50,6 +51,10 @@ class FilterDictionary:
         self.enabled = enabled
         self.degrade_corrupt = degrade_corrupt
         self._filters: dict[str, KeyFilter] = {}
+        # Foreground queries and background compaction share the
+        # dictionary; the lock keeps memoization and the degraded set
+        # consistent (one fetch, one degradation count per run).
+        self._lock = threading.RLock()
         #: Runs whose envelope proved undecodable (served filter-less).
         self.degraded: set[str] = set()
 
@@ -62,31 +67,33 @@ class FilterDictionary:
         dictionary enabled both are paid once per run lifetime.
         """
         name = reader.meta.name
-        if name in self.degraded:
-            return None
-        cached = self._filters.get(name)
-        if cached is not None:
-            return cached
-        envelope = reader.filter_block_bytes()
-        if not envelope:
-            return None
-        try:
-            with Stopwatch(stats, "deserialize_ns"):
-                filt = deserialize_filter(envelope)
-        except SerializationError:
-            if not self.degrade_corrupt:
-                raise
-            self.degraded.add(name)
-            stats.filters_degraded += 1
-            return None
-        if self.enabled:
-            self._filters[name] = filt
-        return filt
+        with self._lock:
+            if name in self.degraded:
+                return None
+            cached = self._filters.get(name)
+            if cached is not None:
+                return cached
+            envelope = reader.filter_block_bytes()
+            if not envelope:
+                return None
+            try:
+                with Stopwatch(stats, "deserialize_ns"):
+                    filt = deserialize_filter(envelope)
+            except SerializationError:
+                if not self.degrade_corrupt:
+                    raise
+                self.degraded.add(name)
+                stats.add(filters_degraded=1)
+                return None
+            if self.enabled:
+                self._filters[name] = filt
+            return filt
 
     def drop_run(self, name: str) -> None:
         """Forget a run's filter (its SST was compacted away)."""
-        self._filters.pop(name, None)
-        self.degraded.discard(name)
+        with self._lock:
+            self._filters.pop(name, None)
+            self.degraded.discard(name)
 
     def __len__(self) -> int:
         return len(self._filters)

@@ -8,6 +8,14 @@ stores).  Deletions store a tombstone tag so a flush propagates them.
 The skip list is implemented from scratch (no ``sortedcontainers``): tower
 nodes with geometric height, deterministic per-instance RNG so tests are
 reproducible.
+
+Concurrency contract: one writer, any number of readers, no lock.  Every
+mutation that a reader could observe mid-flight is a single reference
+assignment — an overwrite swaps one immutable ``(tag, value)`` entry
+tuple, and an insert links the new node bottom-up after the node is fully
+built — so under the GIL a concurrent reader sees either the old or the
+new state of a key, never a torn ``(new_tag, old_value)`` pair.  Sealed
+(immutable) memtables are never mutated at all.
 """
 
 from __future__ import annotations
@@ -24,12 +32,13 @@ __all__ = ["MemTable"]
 
 
 class _Node:
-    __slots__ = ("key", "tag", "value", "next")
+    __slots__ = ("key", "entry", "next")
 
     def __init__(self, key: bytes, tag: int, value: bytes, height: int) -> None:
         self.key = key
-        self.tag = tag
-        self.value = value
+        # One atomically-swappable slot instead of separate tag/value
+        # attributes: overwrite-vs-read is then a single pointer race.
+        self.entry: tuple[int, bytes] = (tag, value)
         self.next: list["_Node | None"] = [None] * height
 
 
@@ -96,9 +105,8 @@ class MemTable:
         previous = self._find_predecessors(key)
         candidate = previous[0].next[0]
         if candidate is not None and candidate.key == key:
-            self._bytes += len(value) - len(candidate.value)
-            candidate.tag = tag
-            candidate.value = value
+            self._bytes += len(value) - len(candidate.entry[1])
+            candidate.entry = (tag, value)
             return
         height = self._random_height()
         if height > self._height:
@@ -117,21 +125,23 @@ class MemTable:
         """Return ``(tag, value)`` or None when the key is not buffered."""
         node = self._find_predecessors(key)[0].next[0]
         if node is not None and node.key == key:
-            return node.tag, node.value
+            return node.entry
         return None
 
     def entries(self) -> Iterator[tuple[bytes, int, bytes]]:
         """Yield ``(key, tag, value)`` in ascending key order."""
         node = self._head.next[0]
         while node is not None:
-            yield node.key, node.tag, node.value
+            tag, value = node.entry
+            yield node.key, tag, value
             node = node.next[0]
 
     def entries_from(self, key: bytes) -> Iterator[tuple[bytes, int, bytes]]:
         """Yield entries with key >= ``key`` in ascending order."""
         node = self._find_predecessors(key)[0].next[0]
         while node is not None:
-            yield node.key, node.tag, node.value
+            tag, value = node.entry
+            yield node.key, tag, value
             node = node.next[0]
 
     def min_key(self) -> bytes | None:

@@ -21,6 +21,7 @@ path that touches the file.
 from __future__ import annotations
 
 import struct
+import threading
 from bisect import bisect_left
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -150,7 +151,7 @@ class SSTWriter:
         if self._filter_factory is not None:
             with Stopwatch(stats, "filter_construction_ns"):
                 filt = self._filter_factory.build(self._int_keys)
-            stats.filters_built += 1
+            stats.add(filters_built=1)
             with Stopwatch(stats, "serialize_ns"):
                 filter_block = serialize_envelope(filt)
         filter_handle = BlockHandle(offset, len(filter_block))
@@ -228,6 +229,8 @@ class SSTReader:
         self._fence_keys = [key for key, _ in self._fence_pointers]
         # offset -> (payload, entries); valid only while the block cache
         # still returns the identical payload object (see _decode_data_block).
+        # Shared by foreground queries and background compaction reads.
+        self._decoded_lock = threading.Lock()
         self._decoded_blocks: OrderedDict[int, tuple[bytes, list]] = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -256,9 +259,9 @@ class SSTReader:
         if cacheable:
             cached = self._cache.get(cache_key)
             if cached is not None:
-                self._env.stats.block_cache_hits += 1
+                self._env.stats.add(block_cache_hits=1)
                 return cached
-            self._env.stats.block_cache_misses += 1
+            self._env.stats.add(block_cache_misses=1)
         payload = self._env.read_block(self.meta.name, handle.offset, handle.size)
         if cacheable:
             self._cache.put(cache_key, payload, high_priority, pinned)
@@ -299,15 +302,17 @@ class SSTReader:
         """
         _, handle = self._fence_pointers[block_index]
         payload = self._read_block(handle)
-        memo = self._decoded_blocks.get(handle.offset)
-        if memo is not None and memo[0] is payload:
-            self._decoded_blocks.move_to_end(handle.offset)
-            return memo[1]
+        with self._decoded_lock:
+            memo = self._decoded_blocks.get(handle.offset)
+            if memo is not None and memo[0] is payload:
+                self._decoded_blocks.move_to_end(handle.offset)
+                return memo[1]
         entries = decode_data_block(payload)
-        self._decoded_blocks[handle.offset] = (payload, entries)
-        self._decoded_blocks.move_to_end(handle.offset)
-        if len(self._decoded_blocks) > _MAX_DECODED_BLOCKS:
-            self._decoded_blocks.popitem(last=False)
+        with self._decoded_lock:
+            self._decoded_blocks[handle.offset] = (payload, entries)
+            self._decoded_blocks.move_to_end(handle.offset)
+            if len(self._decoded_blocks) > _MAX_DECODED_BLOCKS:
+                self._decoded_blocks.popitem(last=False)
         return entries
 
     # ------------------------------------------------------------------

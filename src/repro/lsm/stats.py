@@ -14,14 +14,21 @@ taxonomy so the benchmark harness can print the same cost breakdowns
   sub-costs of Fig. 5(A2);
 * compaction counters for Fig. 6's ``T/(R+W)`` overhead metric.
 
+With background maintenance enabled, foreground queries and worker jobs
+bump the same counter set concurrently, so every mutation goes through
+:meth:`PerfStats.add`, which serializes updates behind an internal lock.
+``snapshot``/``diff`` take the same lock and therefore observe a
+consistent cut even while workers are running.
+
 :class:`Stopwatch` is the measuring primitive (mirrors RocksDB's internal
 ``stopwatch()`` support).
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 __all__ = ["PerfStats", "Stopwatch"]
 
@@ -43,6 +50,14 @@ class PerfStats:
     io_retries: int = 0           # read attempts re-issued after one
     filters_degraded: int = 0     # runs whose filter envelope was unreadable
     background_errors: int = 0    # flush/compaction failures -> degraded mode
+
+    # --- Write backpressure ---
+    memtable_seals: int = 0       # active memtable rotated into the queue
+    write_slowdowns: int = 0      # writes admitted with a modeled delay
+    write_stops: int = 0          # writes that blocked on the stop trigger
+    write_delay_time_ns: int = 0  # modeled slowdown delay (not slept)
+    write_stall_time_ns: int = 0  # measured wall time spent stop-blocked
+    write_stall_timeouts: int = 0  # stop waits that gave up (WriteStallTimeoutError)
 
     # --- CPU sub-costs (measured wall time of the code paths) ---
     filter_probe_ns: int = 0
@@ -74,23 +89,42 @@ class PerfStats:
     filter_construction_ns: int = 0
     filters_built: int = 0
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: ``fields(self)`` must keep iterating only
+        # the counters for snapshot/diff/reset and keyword construction.
+        object.__setattr__(self, "_lock", threading.Lock())
+
+    def add(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the named counters.
+
+        The sole supported mutation path once worker threads are running:
+        plain ``stats.field += n`` is a read-modify-write race under
+        concurrency.
+        """
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
     def snapshot(self) -> "PerfStats":
-        """Copy of the current counters."""
-        return PerfStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+        """Consistent copy of the current counters."""
+        with self._lock:
+            return PerfStats(**{f.name: getattr(self, f.name) for f in fields(self)})
 
     def diff(self, earlier: "PerfStats") -> "PerfStats":
         """Counter deltas since ``earlier`` (for per-phase reporting)."""
+        current = self.snapshot()
         return PerfStats(
             **{
-                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                f.name: getattr(current, f.name) - getattr(earlier, f.name)
                 for f in fields(self)
             }
         )
 
     def reset(self) -> None:
         """Zero every counter."""
-        for f in fields(self):
-            setattr(self, f.name, 0)
+        with self._lock:
+            for f in fields(self):
+                setattr(self, f.name, 0)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -146,4 +180,4 @@ class Stopwatch:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         elapsed = time.perf_counter_ns() - self._start
-        setattr(self._stats, self._field, getattr(self._stats, self._field) + elapsed)
+        self._stats.add(**{self._field: elapsed})

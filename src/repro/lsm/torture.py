@@ -39,6 +39,7 @@ from repro.filters.rosetta_adapter import RosettaFilter
 from repro.lsm.db import DB
 from repro.lsm.faults import FaultInjectionEnv
 from repro.lsm.options import DBOptions
+from repro.lsm.scheduler import DeterministicScheduler
 
 __all__ = [
     "TortureConfig",
@@ -49,6 +50,10 @@ __all__ = [
     "torture_seed",
     "transient_fault_equivalence",
     "torture_options",
+    "concurrent_torture_options",
+    "run_concurrent_crash_point",
+    "concurrent_torture_seed",
+    "schedule_equivalence",
 ]
 
 
@@ -398,4 +403,185 @@ def transient_fault_equivalence(
         "observed_transient_errors": faulty["health"].io_transient_errors,
         "io_retries": faulty["health"].io_retries,
         "health": faulty["health"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Concurrent-maintenance torture (deterministic interleavings)
+# ----------------------------------------------------------------------
+def concurrent_torture_options(
+    config: TortureConfig,
+    sched_seed: int,
+    env_factory=None,
+) -> DBOptions:
+    """Torture options with background workers on a seeded deterministic
+    scheduler.
+
+    Backpressure triggers are set aggressively low (slowdown at 3 L0 runs,
+    stop at 4, two sealed memtables max) so the tiny torture workload
+    actually crosses the slowdown/stop state machine, and the
+    :class:`~repro.lsm.scheduler.DeterministicScheduler` turns worker
+    interleaving into a pure function of ``sched_seed`` — every run is
+    replayable, including ones that power off mid-superversion-install.
+    """
+    options = torture_options(config, env_factory=env_factory)
+    options.max_background_jobs = 2
+    options.max_immutable_memtables = 2
+    options.level0_slowdown_writes_trigger = 3
+    options.level0_stop_writes_trigger = 4
+    options.scheduler_factory = (
+        lambda _options: DeterministicScheduler(seed=sched_seed)
+    )
+    options.validate()
+    return options
+
+
+def run_concurrent_crash_point(
+    base_dir: str,
+    seed: int,
+    sched_seed: int,
+    crash_point: int,
+    config: TortureConfig,
+) -> CrashPointResult:
+    """One (workload seed, scheduler seed, crash point) run with workers.
+
+    Identical contract to :func:`run_crash_point`, but flush/compaction run
+    on deterministic background jobs, so the power cut can land while a
+    worker is mid-flush, mid-compaction, or mid-superversion-install —
+    interleavings the inline sweep can never produce.  The foreground
+    writer may observe the cut indirectly (its next WAL append, stall
+    wait, or ``close()`` raises :class:`PowerCutError`); either way the
+    store is killed (workers joined, no further I/O), the seeded partial
+    crash effects applied, and recovery verified against the model with
+    the same acked/in-flight rules.
+    """
+    path = os.path.join(base_dir, f"s{seed}-g{sched_seed}-cp{crash_point}")
+    holder: dict[str, FaultInjectionEnv] = {}
+
+    def factory(root, device, stats):
+        env = FaultInjectionEnv(
+            root,
+            device,
+            stats,
+            seed=(seed * 1_000_003 + crash_point) ^ (sched_seed * 7_368_787),
+        )
+        holder["env"] = env
+        return env
+
+    model: dict[int, bytes] = {}
+    pending: tuple | None = None
+    acked = 0
+    crashed = False
+    db = DB(path, concurrent_torture_options(config, sched_seed, env_factory=factory))
+    env = holder["env"]
+    env.schedule_crash(crash_point)
+    try:
+        for op in build_schedule(seed, config):
+            pending = op
+            _apply(db, op)
+            _commit(model, op)
+            pending = None
+            acked += 1
+        pending = ("close",)
+        db.close()
+        pending = None
+    except PowerCutError:
+        crashed = True
+    finally:
+        # Join workers and stop all further I/O before mutating the image.
+        # A cut observed only by a background job leaves the foreground
+        # loop running to completion; kill() is idempotent either way.
+        db.kill()
+
+    result = CrashPointResult(
+        crash_point=crash_point,
+        crashed=crashed or env.crashed,
+        durable_ops=env.durable_ops,
+        acked_ops=acked,
+    )
+    if result.crashed:
+        env.crash()
+        result.violations = _verify_recovery(path, config, model, pending)
+    shutil.rmtree(path, ignore_errors=True)
+    return result
+
+
+def concurrent_torture_seed(
+    base_dir: str,
+    seed: int,
+    config: TortureConfig | None = None,
+    sched_seeds: tuple[int, ...] = (0, 1),
+) -> SeedReport:
+    """Sweep every crash point of one seed under each scheduler seed."""
+    config = config if config is not None else TortureConfig()
+    report = SeedReport(seed=seed, crash_points=0, recoveries=0)
+    for sched_seed in sched_seeds:
+        crash_point = 1
+        while True:
+            result = run_concurrent_crash_point(
+                base_dir, seed, sched_seed, crash_point, config
+            )
+            if not result.crashed:
+                break
+            report.crash_points += 1
+            report.recoveries += 1
+            report.violations.extend(
+                f"seed={seed} sched_seed={sched_seed} "
+                f"crash_point={crash_point}: {violation}"
+                for violation in result.violations
+            )
+            crash_point += 1
+    return report
+
+
+def schedule_equivalence(
+    base_dir: str,
+    seed: int,
+    config: TortureConfig | None = None,
+    sched_seeds: tuple[int, ...] = (0, 1, 2),
+) -> dict:
+    """Same workload, crash-free, across interleavings: answers must match.
+
+    Runs one seed's schedule to completion inline (the historical
+    synchronous semantics) and once per scheduler seed with background
+    workers, then compares every point lookup and a grid of range queries.
+    Background maintenance may only change *when* flushes and compactions
+    happen — never what the store answers.
+    """
+    config = config if config is not None else TortureConfig()
+    schedule = build_schedule(seed, config)
+
+    def run(label: str, options: DBOptions) -> dict:
+        path = os.path.join(base_dir, f"sched-equiv-{label}-s{seed}")
+        db = DB(path, options)
+        for op in schedule:
+            _apply(db, op)
+        db.wait_idle()
+        points = {key: db.get(key) for key in range(config.key_space)}
+        span = max(config.key_space // 4, 1)
+        ranges = {
+            (low, low + span): db.range_query(low, low + span)
+            for low in range(0, config.key_space, span)
+        }
+        db.close()
+        shutil.rmtree(path, ignore_errors=True)
+        return {"points": points, "ranges": ranges}
+
+    outcomes = {"inline": run("inline", torture_options(config))}
+    for sched_seed in sched_seeds:
+        outcomes[f"sched{sched_seed}"] = run(
+            f"g{sched_seed}", concurrent_torture_options(config, sched_seed)
+        )
+    baseline = outcomes["inline"]
+    mismatches = [
+        label
+        for label, outcome in outcomes.items()
+        if outcome["points"] != baseline["points"]
+        or outcome["ranges"] != baseline["ranges"]
+    ]
+    return {
+        "seed": seed,
+        "interleavings": len(outcomes),
+        "equivalent": not mismatches,
+        "mismatches": mismatches,
     }

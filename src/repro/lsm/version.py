@@ -56,6 +56,18 @@ class Version:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def clone(self) -> "Version":
+        """Shallow copy-on-write snapshot (shares the :class:`Run` objects).
+
+        Background installs mutate a clone and swap it in atomically via
+        the DB's superversion, so concurrent readers keep iterating a
+        frozen shape while flush/compaction edits the copy.
+        """
+        return Version(
+            level0=list(self.level0),
+            levels={level: list(runs) for level, runs in self.levels.items()},
+        )
+
     def add_level0(self, run: Run) -> None:
         """Register a freshly flushed L0 file (most recent first)."""
         self.level0.insert(0, run)

@@ -19,12 +19,33 @@ from typing import Iterator
 from repro.lsm.env import StorageEnv
 from repro.lsm.format import ValueTag
 
-__all__ = ["WriteAheadLog", "BATCH_OP"]
+__all__ = ["WriteAheadLog", "BATCH_OP", "wal_file_name", "parse_wal_seq"]
 
 _HEADER = struct.Struct("<II")
 
 #: Record op-code for an atomic write batch (payload = WriteBatch.encode()).
 BATCH_OP = 0xB0
+
+
+def wal_file_name(seq: int) -> str:
+    """Store-relative WAL name for rotation sequence ``seq``.
+
+    Sequence 0 keeps the historical name ``wal.log`` so stores written
+    before WAL rotation existed (and tests that pin the name) keep
+    working; later rotations get numbered names.
+    """
+    return "wal.log" if seq == 0 else f"wal_{seq:06d}.log"
+
+
+def parse_wal_seq(name: str) -> int | None:
+    """Inverse of :func:`wal_file_name`; None when ``name`` is not a WAL."""
+    if name == "wal.log":
+        return 0
+    if name.startswith("wal_") and name.endswith(".log"):
+        digits = name[len("wal_") : -len(".log")]
+        if digits.isdigit():
+            return int(digits)
+    return None
 
 
 class WriteAheadLog:

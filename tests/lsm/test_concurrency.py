@@ -1,0 +1,446 @@
+"""Concurrent background maintenance: schedulers, backpressure, failures.
+
+Covers the pieces the crash-recovery torture harness composes:
+
+* the scheduler implementations themselves (inline / thread pool /
+  deterministic token passing, plus the cooperative lock);
+* write backpressure — the slowdown trigger charges modeled delay, the
+  stop trigger genuinely blocks and then resumes with nothing lost, and
+  a wedged configuration fails with ``WriteStallTimeoutError`` instead of
+  hanging;
+* a flush failing *on a worker thread* parks the store in degraded
+  read-only mode exactly like the inline failure path — same health
+  report, same counters — and ``resume()`` retries it on a worker;
+* reads are superversion-pinned: an open iterator survives a full
+  compaction deleting every file it is reading;
+* scalar and batch write paths agree on answers and ``PerfStats``
+  accounting with workers enabled.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    PowerCutError,
+    ReadOnlyStoreError,
+    WriteStallTimeoutError,
+)
+from repro.lsm.db import DB
+from repro.lsm.faults import FaultInjectionEnv
+from repro.lsm.options import DBOptions
+from repro.lsm.scheduler import (
+    CooperativeLock,
+    DeterministicScheduler,
+    InlineScheduler,
+    JobHandle,
+    ThreadPoolScheduler,
+)
+
+
+def _options(**overrides) -> DBOptions:
+    base = dict(
+        key_bits=32,
+        memtable_size_bytes=1024,
+        sst_size_bytes=4096,
+        block_size_bytes=512,
+        block_cache_bytes=0,
+        level0_file_num_compaction_trigger=2,
+        max_bytes_for_level_base=8192,
+    )
+    base.update(overrides)
+    return DBOptions(**base)
+
+
+def _faulty_db(path: str, **overrides):
+    holder = {}
+
+    def factory(root, device, stats):
+        env = FaultInjectionEnv(root, device, stats, seed=0)
+        holder["env"] = env
+        return env
+
+    db = DB(path, _options(env_factory=factory, **overrides))
+    return db, holder["env"]
+
+
+# ----------------------------------------------------------------------
+# Scheduler unit tests
+# ----------------------------------------------------------------------
+class TestInlineScheduler:
+    def test_submit_runs_on_caller_before_returning(self):
+        sched = InlineScheduler()
+        ran = []
+        handle = sched.submit("job", lambda: ran.append(1) or "result")
+        assert ran == [1]
+        assert handle.done and handle.error is None
+        assert handle.result == "result"
+        assert sched.wait_for(lambda: True) is True
+        assert sched.wait_for(lambda: False) is False
+        sched.close()
+
+
+class TestThreadPoolScheduler:
+    def test_jobs_run_on_workers_and_errors_are_recorded(self):
+        sched = ThreadPoolScheduler(num_workers=2)
+        main = threading.get_ident()
+        seen = []
+        ok = sched.submit("ok", lambda: seen.append(threading.get_ident()))
+        boom = sched.submit("boom", lambda: 1 / 0)
+        assert sched.wait_for(lambda: ok.done and boom.done, 10.0)
+        assert seen and seen[0] != main
+        assert ok.error is None
+        assert isinstance(boom.error, ZeroDivisionError)
+        sched.close()
+        sched.close()  # idempotent
+
+
+class TestDeterministicScheduler:
+    @staticmethod
+    def _run_interleaving(seed: int) -> list[tuple[str, int]]:
+        sched = DeterministicScheduler(seed=seed)
+        order: list[tuple[str, int]] = []
+
+        def job(tag):
+            def body():
+                for step in range(3):
+                    order.append((tag, step))
+                    sched.sync_point("step")
+            return body
+
+        handles = [sched.submit(tag, job(tag)) for tag in ("a", "b", "c")]
+        assert sched.wait_for(lambda: all(h.done for h in handles))
+        sched.close()
+        return order
+
+    def test_same_seed_replays_the_same_interleaving(self):
+        first = self._run_interleaving(42)
+        second = self._run_interleaving(42)
+        assert first == second
+        assert sorted(first) == [
+            (tag, step) for tag in "abc" for step in range(3)
+        ]
+
+    def test_seed_space_produces_multiple_interleavings(self):
+        distinct = {tuple(self._run_interleaving(seed)) for seed in range(8)}
+        assert len(distinct) > 1
+
+    def test_close_unwinds_parked_jobs_with_power_cut(self):
+        sched = DeterministicScheduler(seed=0)
+        entered = []
+
+        def body():
+            entered.append(True)
+            while True:
+                sched.sync_point("spin")
+
+        handle = sched.submit("spinner", body)
+        assert sched.wait_for(lambda: bool(entered))  # job got the token once
+        sched.close()
+        assert handle.done
+        assert isinstance(handle.error, PowerCutError)
+        assert sched.crashed
+
+
+class TestCooperativeLock:
+    def test_reentrant_acquire_release(self):
+        lock = CooperativeLock(DeterministicScheduler(seed=0))
+        with lock:
+            with lock:
+                pass
+        with lock:
+            pass
+
+    def test_release_by_non_owner_raises(self):
+        lock = CooperativeLock(DeterministicScheduler(seed=0))
+        lock.acquire()
+        errors = []
+
+        def stranger():
+            try:
+                lock.release()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=stranger)
+        thread.start()
+        thread.join()
+        assert len(errors) == 1
+        lock.release()
+
+
+# ----------------------------------------------------------------------
+# Write backpressure
+# ----------------------------------------------------------------------
+class _StuckScheduler:
+    """Concurrent-shaped scheduler that never runs its jobs (a wedge)."""
+
+    concurrent = True
+    crashed = False
+
+    def submit(self, name, fn):
+        return JobHandle(name)  # accepted, never executed
+
+    def sync_point(self, tag=""):
+        return None
+
+    def wait_for(self, predicate, timeout_s=None):
+        deadline = time.monotonic() + (timeout_s or 0.0)
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.002)
+        return bool(predicate())
+
+    def notify(self):
+        return None
+
+    def make_lock(self):
+        return threading.RLock()
+
+    def close(self, force=False):
+        return None
+
+
+class TestBackpressure:
+    def test_slowdown_charges_modeled_delay(self, tmp_path):
+        db = DB(
+            str(tmp_path / "db"),
+            _options(
+                max_background_jobs=1,
+                max_immutable_memtables=2,  # slowdown at 1 sealed memtable
+                scheduler_factory=lambda _o: DeterministicScheduler(seed=3),
+            ),
+        )
+        for key in range(40):
+            db.put(key, b"v" * 200)
+        stats = db.stats
+        assert stats.memtable_seals > 0
+        # The put immediately after a seal observes the backlog before any
+        # yield can drain it, so at least one slowdown is guaranteed.
+        assert stats.write_slowdowns > 0
+        assert stats.write_delay_time_ns > 0
+        assert stats.write_stall_timeouts == 0
+        db.wait_idle()
+        assert db.health().stall_state in ("none", "slowdown")
+        for key in range(40):
+            assert db.get(key) == b"v" * 200
+        db.close()
+
+    def test_stop_trigger_stalls_then_resumes_without_loss(self, tmp_path):
+        db = DB(
+            str(tmp_path / "db"),
+            _options(
+                max_background_jobs=1,
+                max_immutable_memtables=1,  # every seal is a stop condition
+                level0_slowdown_writes_trigger=3,
+                level0_stop_writes_trigger=4,
+                scheduler_factory=lambda _o: DeterministicScheduler(seed=5),
+            ),
+        )
+        values = {key: b"stall" * 60 + b"#%d" % key for key in range(50)}
+        for key, value in values.items():
+            db.put(key, value)  # acked in submission order
+        stats = db.stats
+        assert stats.write_stops > 0        # the stop trigger really fired
+        assert stats.write_stall_time_ns >= 0
+        assert stats.write_stall_timeouts == 0
+        db.wait_idle()
+        health = db.health()
+        assert health.pending_immutables == 0
+        assert health.write_stops == stats.write_stops
+        # No acked write lost or reordered: last write per key wins.
+        for key, value in values.items():
+            assert db.get(key) == value
+        db.close()
+
+    def test_wedged_store_raises_write_stall_timeout(self, tmp_path):
+        db = DB(
+            str(tmp_path / "db"),
+            _options(
+                max_background_jobs=1,
+                max_immutable_memtables=1,
+                write_stall_timeout_s=0.05,
+                scheduler_factory=lambda _o: _StuckScheduler(),
+            ),
+        )
+        with pytest.raises(WriteStallTimeoutError):
+            for key in range(50):
+                db.put(key, b"w" * 200)
+        assert db.stats.write_stall_timeouts == 1
+        assert db.health().stall_state == "stopped"
+        db.kill()  # close() would wait out the drain on a wedged scheduler
+
+    def test_inline_mode_never_stops(self, tmp_path):
+        db = DB(str(tmp_path / "db"), _options())
+        for key in range(60):
+            db.put(key, b"v" * 200)
+        assert db.stats.write_stops == 0
+        assert db.stats.write_stall_timeouts == 0
+        db.close()
+
+
+# ----------------------------------------------------------------------
+# Background failure parity with the inline path
+# ----------------------------------------------------------------------
+class TestWorkerFlushFailure:
+    def test_worker_flush_failure_parks_readonly(self, tmp_path):
+        db, env = _faulty_db(
+            str(tmp_path / "db"),
+            memtable_size_bytes=8 << 10,
+            max_background_jobs=1,
+        )
+        db.put(7, b"buffered")
+        env.fail_next_writes(1)
+        db.flush()  # flush runs on the worker, fails, degrades the store
+        health = db.health()
+        assert health.mode == "degraded"
+        assert not health.ok
+        assert "flush" in health.background_error
+        assert health.background_errors == 1
+        assert env.injected["write_errors"] == 1
+        # Reads still serve the buffered write that never reached an SST.
+        assert db.get(7) == b"buffered"
+        with pytest.raises(ReadOnlyStoreError):
+            db.put(1, b"nope")
+        with pytest.raises(ReadOnlyStoreError):
+            db.delete(1)
+        # Device healed: resume retries the flush (on the worker) and the
+        # store is writable again, nothing lost.
+        assert db.resume()
+        assert db.health().ok
+        db.put(8, b"post-resume")
+        db.close()
+        reopened = DB(str(tmp_path / "db"), _options())
+        assert reopened.get(7) == b"buffered"
+        assert reopened.get(8) == b"post-resume"
+        reopened.close()
+
+    def test_worker_failure_counters_match_inline_path(self, tmp_path):
+        reports = {}
+        for label, jobs in (("inline", 0), ("workers", 2)):
+            db, env = _faulty_db(
+                str(tmp_path / label),
+                memtable_size_bytes=8 << 10,
+                max_background_jobs=jobs,
+            )
+            db.put(7, b"buffered")
+            env.fail_next_writes(1)
+            db.flush()
+            degraded = db.health()
+            resumed = db.resume()
+            healthy = db.health()
+            reports[label] = (
+                degraded.mode,
+                degraded.background_errors,
+                "flush" in (degraded.background_error or ""),
+                env.injected["write_errors"],
+                resumed,
+                healthy.mode,
+                db.get(7),
+            )
+            db.close()
+        assert reports["inline"] == reports["workers"]
+
+
+# ----------------------------------------------------------------------
+# Superversion-pinned reads
+# ----------------------------------------------------------------------
+class TestSuperversionReads:
+    def test_iterator_survives_full_compaction(self, tmp_path):
+        db = DB(str(tmp_path / "db"), _options(max_background_jobs=1))
+        values = {key: b"x" * 100 + b"#%d" % key for key in range(64)}
+        for key, value in values.items():
+            db.put(key, value)
+        db.flush()
+        iterator = db.iterator()
+        head = [next(iterator) for _ in range(5)]
+        # Rewrites every file the iterator is positioned over; the pinned
+        # superversion keeps the old runs alive until the iterator closes.
+        db.force_full_compaction()
+        tail = list(iterator)
+        scanned = dict(head + tail)
+        assert scanned == values
+        assert dict(db.iterator()) == values  # and the new view agrees
+        db.close()
+
+    def test_reads_see_consistent_data_during_maintenance(self, tmp_path):
+        db = DB(
+            str(tmp_path / "db"),
+            _options(
+                max_background_jobs=2,
+                scheduler_factory=lambda _o: DeterministicScheduler(seed=11),
+            ),
+        )
+        for key in range(80):
+            db.put(key, b"gen0-%d" % key)
+            if key % 3 == 0:
+                db.put(key, b"gen1-%d" % key)
+            # Read back mid-maintenance: must always see the latest ack.
+            expected = b"gen1-%d" % key if key % 3 == 0 else b"gen0-%d" % key
+            assert db.get(key) == expected
+        db.wait_idle()
+        report = db.verify()
+        assert report.ok
+        db.close()
+
+
+# ----------------------------------------------------------------------
+# Scalar / batch parity with workers enabled
+# ----------------------------------------------------------------------
+class TestParityWithWorkers:
+    def test_scalar_and_batch_paths_agree_under_workers(self, tmp_path):
+        items = [(key, b"p" * 50 + b"#%d" % key) for key in range(90)]
+        answers = {}
+        writes = {}
+        for label in ("scalar", "batch"):
+            db = DB(
+                str(tmp_path / label), _options(max_background_jobs=2)
+            )
+            if label == "scalar":
+                for key, value in items:
+                    db.put(key, value)
+            else:
+                for start in range(0, len(items), 9):
+                    batch = db.batch()
+                    for key, value in items[start:start + 9]:
+                        batch.put_int(key, value)
+                    db.write(batch)
+            db.wait_idle()
+            answers[label] = {key: db.get(key) for key, _ in items}
+            writes[label] = db.stats.writes
+            db.close()
+        assert answers["scalar"] == answers["batch"] == dict(items)
+        assert writes["scalar"] == writes["batch"] == len(items)
+
+    def test_workers_match_inline_answers(self, tmp_path):
+        final = {}
+        for label, jobs in (("inline", 0), ("workers", 2)):
+            db = DB(str(tmp_path / label), _options(max_background_jobs=jobs))
+            for key in range(120):
+                db.put(key % 40, b"round-%d" % key)
+                if key % 7 == 0:
+                    db.delete((key + 3) % 40)
+            db.wait_idle()
+            final[label] = {key: db.get(key) for key in range(40)}
+            db.close()
+        assert final["inline"] == final["workers"]
+
+
+# ----------------------------------------------------------------------
+# Health surface
+# ----------------------------------------------------------------------
+class TestHealthSurface:
+    def test_health_reports_backpressure_fields(self, tmp_path):
+        db = DB(str(tmp_path / "db"), _options(max_background_jobs=3))
+        for key in range(30):
+            db.put(key, b"h" * 150)
+        health = db.health()
+        assert health.workers == 3
+        assert health.stall_state in ("none", "slowdown", "stopped")
+        assert health.pending_immutables >= 0
+        assert health.level0_runs >= 0
+        db.wait_idle()
+        assert db.health().pending_immutables == 0
+        db.close()

@@ -1,0 +1,55 @@
+"""Tier-1 slice of the concurrent-maintenance torture matrix.
+
+The full matrix lives in ``benchmarks/torture.py``; this keeps a small
+seeded corner of it in the regular test run: every crash point of a few
+workload seeds under multiple deterministic scheduler seeds — power cuts
+landing mid-flush, mid-compaction, and mid-superversion-install on a
+worker thread — plus the interleaving-equivalence check (background
+maintenance may change *when* work happens, never what the store
+answers).
+"""
+
+from repro.lsm.torture import (
+    TortureConfig,
+    concurrent_torture_seed,
+    run_concurrent_crash_point,
+    schedule_equivalence,
+)
+
+_SMALL = TortureConfig(num_ops=16, key_space=48)
+
+
+class TestConcurrentCrashSweep:
+    def test_every_crash_point_recovers_clean(self, tmp_path):
+        for seed in (1, 2):
+            report = concurrent_torture_seed(
+                str(tmp_path), seed, _SMALL, sched_seeds=(0, 1)
+            )
+            assert report.crash_points > 0, "sweep never crashed — misconfigured"
+            assert report.recoveries == report.crash_points
+            assert report.ok, "\n".join(report.violations)
+
+    def test_single_crash_point_result_shape(self, tmp_path):
+        result = run_concurrent_crash_point(str(tmp_path), 3, 0, 5, _SMALL)
+        assert result.crash_point == 5
+        assert result.crashed           # op 5 lands well inside the schedule
+        assert result.durable_ops >= 1
+        assert result.violations == []
+
+    def test_crash_point_past_schedule_never_fires(self, tmp_path):
+        result = run_concurrent_crash_point(
+            str(tmp_path), 3, 0, 1_000_000, _SMALL
+        )
+        assert not result.crashed
+        assert result.acked_ops == _SMALL.num_ops
+        assert result.violations == []
+
+
+class TestScheduleEquivalence:
+    def test_interleavings_answer_identically(self, tmp_path):
+        for seed in (1, 4):
+            outcome = schedule_equivalence(
+                str(tmp_path), seed, _SMALL, sched_seeds=(0, 1, 2)
+            )
+            assert outcome["interleavings"] == 4  # inline + 3 scheduler seeds
+            assert outcome["equivalent"], outcome["mismatches"]

@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Lock-discipline lint for the LSM store's shared mutable state.
+
+The concurrency model in ``repro.lsm.db`` assigns every piece of shared
+DB / Compactor state a documented lock (see the "Concurrency model"
+section of db.py's module docstring).  This lint makes the discipline
+mechanical: it parses the source with ``ast`` and flags any *rebinding*
+(``self._super = ...``) or *in-place mutation*
+(``self._zombies.append(...)``) of a protected attribute that is not
+
+* lexically inside a ``with self.<lock>:`` block for one of the
+  attribute's documented locks, or
+* in an explicitly allowlisted method (constructors, single-threaded
+  recovery, teardown paths that run after workers are joined).
+
+It is a lexical check, deliberately: "the caller holds the lock" is
+exactly the convention this lint exists to make visible — helpers that
+rely on it (e.g. ``_collect_zombies_locked``) carry a ``_locked`` suffix
+and appear in the allowlist next to the lock they assume.
+
+Run from the repo root (CI does)::
+
+    python tools/lint_locks.py        # exit 1 + report on violations
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from dataclasses import dataclass, field
+
+__all__ = ["Rule", "Violation", "check_source", "check_file", "main", "RULES"]
+
+#: Method calls on a protected attribute that mutate it in place.
+_MUTATORS = frozenset(
+    {"append", "remove", "pop", "clear", "extend", "insert", "update"}
+)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Protection contract for one attribute of one class."""
+
+    locks: frozenset[str] = frozenset()
+    #: Methods allowed to touch the attribute without the lock visible:
+    #: constructors and code that runs while no worker can be live.
+    methods: frozenset[str] = frozenset()
+
+
+def _rule(locks: tuple[str, ...] = (), methods: tuple[str, ...] = ()) -> Rule:
+    return Rule(locks=frozenset(locks), methods=frozenset(methods))
+
+
+#: class name -> attribute -> protection contract.  This table IS the
+#: documented lock assignment; change it in the same commit as the
+#: docstring in db.py when the concurrency model evolves.
+RULES: dict[str, dict[str, Rule]] = {
+    "DB": {
+        # Superversion chain: swapped and refcounted under _sv_lock.
+        "_super": _rule(("_sv_lock",), ("__init__", "_recover")),
+        "_epoch": _rule(("_sv_lock",), ("__init__",)),
+        "_live_svs": _rule(("_sv_lock",), ("__init__", "_recover")),
+        "_zombies": _rule(
+            ("_sv_lock",), ("__init__", "_collect_zombies_locked")
+        ),
+        # WAL rotation state: mutated under _mutex (single-threaded in
+        # __init__/_recover, before any worker exists).
+        "_active_wal": _rule(("_mutex",), ("__init__", "_recover")),
+        "_wal_seq": _rule(("_mutex",), ("__init__", "_recover")),
+        "_background_error": _rule(("_mutex",), ("__init__",)),
+        # Maintenance job bookkeeping: _job_lock only.
+        "_maintenance_inflight": _rule(("_job_lock",), ("__init__",)),
+        "_maintenance_rearm": _rule(("_job_lock",), ("__init__",)),
+        # Stall state: written only by the (single) writer holding
+        # _write_lock inside _apply_backpressure, and by resume().
+        "_stall_state": _rule(
+            (), ("__init__", "_apply_backpressure", "resume")
+        ),
+        # Lifecycle flag: set once on the teardown paths.
+        "_closed": _rule((), ("__init__", "close", "kill")),
+    },
+    "Compactor": {
+        "_next_file_number": _rule(("_counter_lock",), ("__init__",)),
+        "_next_group_id": _rule(("_counter_lock",), ("__init__",)),
+    },
+}
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int
+    cls: str
+    method: str
+    attr: str
+    kind: str  # "assign" or "mutate"
+    rule: Rule
+
+    def __str__(self) -> str:
+        wants = " or ".join(
+            f"`with self.{lock}:`" for lock in sorted(self.rule.locks)
+        )
+        hint = (
+            f"hold {wants}" if wants
+            else f"only {sorted(self.rule.methods)} may touch it"
+        )
+        return (
+            f"{self.path}:{self.line}: {self.cls}.{self.method} "
+            f"{'rebinds' if self.kind == 'assign' else 'mutates'} "
+            f"self.{self.attr} outside its documented lock context ({hint})"
+        )
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.<name>`` -> name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _LockVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, rules: dict[str, dict[str, Rule]]) -> None:
+        self.path = path
+        self.rules = rules
+        self.violations: list[Violation] = []
+        self._cls: str | None = None
+        self._method: str | None = None
+        self._held: list[str] = []  # lexical stack of held self.* locks
+
+    # -- structure ------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        outer = self._cls
+        self._cls = node.name
+        self.generic_visit(node)
+        self._cls = outer
+
+    def _visit_func(self, node) -> None:
+        outer, held = self._method, self._held
+        # Only the outermost method name matters for the allowlist;
+        # nested closures inherit it (a closure defined inside
+        # _apply_backpressure still runs "in" _apply_backpressure).
+        if self._method is None:
+            self._method = node.name
+        self._held = list(held)
+        self.generic_visit(node)
+        self._method, self._held = outer, held
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_With(self, node: ast.With) -> None:
+        added = [
+            attr
+            for item in node.items
+            if (attr := _self_attr(item.context_expr)) is not None
+        ]
+        self._held.extend(added)
+        self.generic_visit(node)
+        if added:
+            del self._held[-len(added):]
+
+    # -- checks ---------------------------------------------------------
+    def _check(self, attr: str, line: int, kind: str) -> None:
+        if self._cls is None or self._method is None:
+            return
+        rule = self.rules.get(self._cls, {}).get(attr)
+        if rule is None:
+            return
+        if self._method in rule.methods:
+            return
+        if any(lock in rule.locks for lock in self._held):
+            return
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=line,
+                cls=self._cls,
+                method=self._method,
+                attr=attr,
+                kind=kind,
+                rule=rule,
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                self._check(attr, node.lineno, "assign")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = _self_attr(node.target)
+        if attr is not None:
+            self._check(attr, node.lineno, "assign")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # self.<attr>.append(...) and friends: in-place mutation.
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            attr = _self_attr(func.value)
+            if attr is not None:
+                self._check(attr, node.lineno, "mutate")
+        self.generic_visit(node)
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    rules: dict[str, dict[str, Rule]] | None = None,
+) -> list[Violation]:
+    """Lint one module's source; returns violations (empty = clean)."""
+    visitor = _LockVisitor(path, rules if rules is not None else RULES)
+    visitor.visit(ast.parse(source, filename=path))
+    return visitor.violations
+
+
+def check_file(
+    path: str, rules: dict[str, dict[str, Rule]] | None = None
+) -> list[Violation]:
+    with open(path, encoding="utf-8") as handle:
+        return check_source(handle.read(), path, rules)
+
+
+#: The modules whose classes carry RULES entries.
+_TARGETS = (
+    os.path.join("src", "repro", "lsm", "db.py"),
+    os.path.join("src", "repro", "lsm", "compaction.py"),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = (argv if argv else None) or list(_TARGETS)
+    violations: list[Violation] = []
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"lint_locks: no such file: {path}", file=sys.stderr)
+            return 2
+        violations.extend(check_file(path))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"lint_locks: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint_locks: OK ({len(paths)} file(s) clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
