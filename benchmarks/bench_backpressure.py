@@ -6,10 +6,14 @@ configurations:
 
 * ``inline`` — ``max_background_jobs=0``: every flush/compaction runs on
   the writing thread, the historical fully-synchronous semantics;
-* ``background`` — worker threads with RocksDB-style backpressure: full
-  memtables seal into the immutable queue and writers are admitted,
-  slowed (modeled ``delayed_write_ns`` charge), or stopped (a real
-  bounded block) depending on maintenance debt.
+* ``background`` / ``background-4`` — worker threads (2 and 4 job
+  slots) with RocksDB-style backpressure: full memtables seal into the
+  immutable queue and writers are admitted, slowed (debt-proportional
+  modeled ``delayed_write_ns`` charge), or stopped (a real bounded
+  block) depending on maintenance debt.  Flushes overlap compactions
+  and compactions split into key-range subcompactions, so the overlap
+  counters (``jobs_overlapped``, ``max_jobs_in_flight``,
+  ``subcompactions``) must come out non-zero.
 
 Reported per configuration: wall-clock write throughput, the per-put
 latency distribution (p50/p90/p99/max — backgrounding moves flush cost
@@ -101,6 +105,9 @@ def run_config(label: str, jobs: int, num_ops: int, workdir: str) -> dict:
         "write_stall_time_ns": stats.write_stall_time_ns,
         "write_delay_time_ns": stats.write_delay_time_ns,
         "write_stall_timeouts": stats.write_stall_timeouts,
+        "subcompactions": stats.subcompactions,
+        "jobs_overlapped": stats.jobs_overlapped,
+        "max_jobs_in_flight": stats.max_jobs_in_flight,
         "final_stall_state": health.stall_state,
         "_answers": answers,  # stripped before serialization
     }
@@ -115,23 +122,49 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke", action="store_true", help="CI smoke run: 800 writes"
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail if background (2 jobs) throughput regresses below "
+        "inline, or if no jobs ever overlapped",
+    )
     args = parser.parse_args(argv)
     num_ops = 800 if args.smoke else args.ops
+    # Full runs interleave three rounds and keep the per-config median:
+    # run-to-run machine noise on this workload (~±10%) would otherwise
+    # swamp the inline/background comparison.  Smoke stays single-round.
+    rounds = 1 if args.smoke else 3
+
+    configs = (("inline", 0), ("background", 2), ("background-4", 4))
+    rounds_by_label: dict[str, list[dict]] = {label: [] for label, _ in configs}
+    with tempfile.TemporaryDirectory(prefix="backpressure-") as workdir:
+        for round_index in range(rounds):
+            for label, jobs in configs:
+                record = run_config(
+                    f"{label}-r{round_index}", jobs, num_ops, workdir
+                )
+                record["label"] = label
+                rounds_by_label[label].append(record)
 
     records = []
-    with tempfile.TemporaryDirectory(prefix="backpressure-") as workdir:
-        for label, jobs in (("inline", 0), ("background", 2)):
-            record = run_config(label, jobs, num_ops, workdir)
-            records.append(record)
-            print(
-                f"{label:10s}: {record['puts_per_second']:10.1f} puts/s, "
-                f"p99 {record['put_latency_ns']['p99'] / 1e3:8.1f} us, "
-                f"{record['write_slowdowns']} slowdowns, "
-                f"{record['write_stops']} stops, "
-                f"stall {record['write_stall_time_ns'] / 1e6:.2f} ms"
-            )
+    for label, _ in configs:
+        ordered = sorted(
+            rounds_by_label[label], key=lambda r: r["puts_per_second"]
+        )
+        record = ordered[len(ordered) // 2]
+        records.append(record)
+        print(
+            f"{label:12s}: {record['puts_per_second']:10.1f} puts/s, "
+            f"p99 {record['put_latency_ns']['p99'] / 1e3:8.1f} us, "
+            f"{record['write_slowdowns']} slowdowns, "
+            f"{record['write_stops']} stops, "
+            f"stall {record['write_stall_time_ns'] / 1e6:.2f} ms, "
+            f"{record['jobs_overlapped']} overlapped"
+        )
 
-    answers_match = records[0].pop("_answers") == records[1].pop("_answers")
+    baseline = records[0].pop("_answers")
+    answers_match = all(
+        record.pop("_answers") == baseline for record in records[1:]
+    )
     result = {
         "bench": "backpressure",
         "num_ops": num_ops,
@@ -140,7 +173,28 @@ def main(argv: list[str] | None = None) -> int:
     }
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(f"-> {RESULT_PATH.name} (answers match: {answers_match})")
-    return 0 if answers_match else 1
+    if not answers_match:
+        return 1
+    if args.check:
+        inline, background = records[0], records[1]
+        # Small tolerance: CI machines are noisy and the smoke run is
+        # short; a real serialization regression loses far more than 10%.
+        floor = 0.9 * inline["puts_per_second"]
+        if background["puts_per_second"] < floor:
+            print(
+                f"CHECK FAILED: background {background['puts_per_second']} "
+                f"puts/s below 0.9x inline ({inline['puts_per_second']})",
+                file=sys.stderr,
+            )
+            return 1
+        if background["jobs_overlapped"] == 0:
+            print(
+                "CHECK FAILED: no background jobs ever overlapped",
+                file=sys.stderr,
+            )
+            return 1
+        print("check passed: background >= 0.9x inline, jobs overlapped")
+    return 0
 
 
 if __name__ == "__main__":

@@ -21,22 +21,40 @@ Compaction is split into three phases so the DB's maintenance scheduler
 can interleave it safely with foreground work:
 
 ``plan(version) -> CompactionJob | None``
-    Pure read of the tree shape: picks the next trigger-satisfying merge
-    (or None when the tree is in shape).  ``forced_l0_job`` and
+    Read of the tree shape plus the conflict table: walks the
+    trigger-satisfying merge candidates in priority order (L0 first, then
+    every oversize/overfull level) and returns the first whose inputs and
+    level pair are disjoint from every in-flight job — so with multiple
+    job slots, plan() hands out *overlappable* work instead of blocking
+    behind the top candidate.  ``forced_l0_job`` and
     ``full_compaction_job`` build the explicit-``compact()`` /
     ``force_full_compaction()`` variants regardless of triggers.
-``execute(job) -> list[Run]``
+``begin(job)`` / ``finish(job)``
+    Conflict-table bracket around a job's lifetime.  ``begin`` re-checks
+    and registers atomically (raises on a lost race); ``finish`` always
+    runs, success or not.  The invariant the table enforces: no two
+    in-flight jobs share an input run, and no two leveled jobs touch the
+    same level.
+``execute(job, scheduler=None, max_subcompactions=1) -> list[Run]``
     The expensive part — merge the input runs into fresh output SSTs.
     Touches no shared version state, so it runs unlocked on a worker.
+    With ``max_subcompactions > 1`` and a scheduler, the merge splits
+    into disjoint key-range slices (cut at input-block fence keys, the
+    RocksDB subcompaction heuristic) executed work-stealing style by
+    helper jobs, then stitched back into one output list for a single
+    atomic install.
 ``apply(version, job, outputs)``
     Pure metadata edit: swap inputs for outputs on a ``Version`` *clone*
-    under the DB mutex.  The caller persists the manifest and installs
-    the clone atomically; input files are destroyed afterwards (and only
-    once no reader still holds a superversion referencing them) via
-    :meth:`destroy_runs`.
+    under the DB mutex.  Removal is name-based and installation
+    union-merges with the level's surviving runs, so an install never
+    clobbers state published by a concurrent job.  The caller persists
+    the manifest and installs the clone atomically; input files are
+    destroyed afterwards (and only once no reader still holds a
+    superversion referencing them) via :meth:`destroy_runs`.
 
 Name/group counters are lock-protected because flush jobs and compaction
-jobs allocate file names concurrently.
+jobs allocate file names concurrently; the conflict table has its own
+``_inflight_lock`` (leaf lock, nothing is acquired while holding it).
 """
 
 from __future__ import annotations
@@ -46,7 +64,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from repro.errors import StoreError
+from repro.errors import PowerCutError, StoreError
 from repro.filters.base import FilterFactory
 from repro.lsm.block_cache import BlockCache
 from repro.lsm.env import StorageEnv
@@ -99,6 +117,12 @@ class Compactor:
         self._counter_lock = threading.Lock()
         self._next_file_number = 1
         self._next_group_id = 1
+        # Conflict table: input-run names and {source, output} level pair
+        # of every in-flight job, keyed by job identity.  plan() consults
+        # it so concurrent jobs always work on disjoint inputs.
+        self._inflight_lock = threading.Lock()
+        self._inflight_inputs: dict[int, frozenset[str]] = {}
+        self._inflight_outputs: dict[int, tuple[str, frozenset[int]]] = {}
         # The auto-tuner can swap the factory between compactions (§2.4);
         # resolve it lazily at each compaction.
         self._filter_factory_provider = filter_factory_provider or (
@@ -116,53 +140,109 @@ class Compactor:
             self._next_group_id = max(self._next_group_id, past + 1)
 
     # ------------------------------------------------------------------
-    # Planning
+    # Planning & conflict tracking
     # ------------------------------------------------------------------
     def plan(self, version: Version) -> CompactionJob | None:
-        """Next trigger-satisfying compaction, or None when in shape."""
-        if self._options.compaction_style == "tiered":
-            return self._plan_tiered(version)
-        if (
-            len(version.level0)
-            >= self._options.level0_file_num_compaction_trigger
-        ):
-            return self.forced_l0_job(version)
-        oversize = self._first_oversize_level(version)
-        if oversize is not None:
-            inputs = version.level_runs(oversize) + version.level_runs(oversize + 1)
-            return CompactionJob(
-                kind="leveled-level",
-                inputs=inputs,
-                output_level=oversize + 1,
-                drop_tombstones=version.max_populated_level() <= oversize + 1,
-                source_level=oversize,
-            )
+        """Next runnable trigger-satisfying compaction, or None.
+
+        "Runnable" means conflict-free against every in-flight job, so
+        with jobs live this may skip the top-priority candidate and
+        return deeper disjoint work instead.  With an empty conflict
+        table it reduces to the classic single-job planner.
+        """
+        for job in self._candidates(version):
+            if not self.conflicts(job):
+                return job
         return None
 
-    def _plan_tiered(self, version: Version) -> CompactionJob | None:
-        ratio = self._options.level_size_ratio
+    def _candidates(self, version: Version) -> Iterable[CompactionJob]:
+        """Trigger-satisfying merges in priority order (L0 debt first)."""
         if (
             len(version.level0)
             >= self._options.level0_file_num_compaction_trigger
         ):
-            return self.forced_l0_job(version)
-        overfull = next(
-            (
-                level
-                for level in range(1, self._options.num_levels - 1)
-                if version.num_groups(level) >= ratio
-            ),
-            None,
-        )
-        if overfull is None:
-            return None
-        return CompactionJob(
-            kind="tiered-level",
-            inputs=version.level_runs(overfull),
-            output_level=overfull + 1,
-            drop_tombstones=self._tiered_bottom(version, overfull + 1),
-            source_level=overfull,
-        )
+            job = self.forced_l0_job(version)
+            if job is not None:
+                yield job
+        if self._options.compaction_style == "tiered":
+            ratio = self._options.level_size_ratio
+            for level in range(1, self._options.num_levels - 1):
+                if version.num_groups(level) >= ratio:
+                    yield CompactionJob(
+                        kind="tiered-level",
+                        inputs=version.level_runs(level),
+                        output_level=level + 1,
+                        drop_tombstones=self._tiered_bottom(version, level + 1),
+                        source_level=level,
+                    )
+            return
+        for level in range(1, self._options.num_levels - 1):
+            target = self._options.level_target_bytes(level)
+            if version.level_size_bytes(level) > target:
+                inputs = version.level_runs(level) + version.level_runs(level + 1)
+                yield CompactionJob(
+                    kind="leveled-level",
+                    inputs=inputs,
+                    output_level=level + 1,
+                    drop_tombstones=version.max_populated_level() <= level + 1,
+                    source_level=level,
+                )
+
+    #: Kinds whose install rewrites a whole level (non-overlap invariant):
+    #: they must not share a level with another in-flight leveled job.
+    #: Tiered installs are prepend/name-removal only, so disjoint-input
+    #: tiered jobs may share a level safely.
+    _LEVELED_KINDS = frozenset({"leveled-l0", "leveled-level", "full"})
+
+    def conflicts(self, job: CompactionJob) -> bool:
+        """Whether ``job`` overlaps any in-flight job (inputs or levels)."""
+        names = frozenset(run.name for run in job.inputs)
+        with self._inflight_lock:
+            return self._conflicts_locked(job, names)
+
+    def _conflicts_locked(self, job: CompactionJob, names: frozenset[str]) -> bool:
+        job_levels = {job.source_level, job.output_level}
+        strict = job.kind in self._LEVELED_KINDS
+        for job_id, other_names in self._inflight_inputs.items():
+            if names & other_names:
+                return True
+            other_kind, other_levels = self._inflight_outputs[job_id]
+            if (strict or other_kind in self._LEVELED_KINDS) and (
+                job_levels & other_levels
+            ):
+                return True
+        return False
+
+    def begin(self, job: CompactionJob) -> None:
+        """Atomically re-check conflicts and register ``job`` as in flight.
+
+        Raises :class:`StoreError` if the job lost a race to a
+        conflicting registration between plan() and here — the caller
+        simply drops the stale job and re-plans.
+        """
+        names = frozenset(run.name for run in job.inputs)
+        with self._inflight_lock:
+            if self._conflicts_locked(job, names):
+                raise StoreError(
+                    f"compaction job {job.kind!r} conflicts with an "
+                    "in-flight job"
+                )
+            self._inflight_inputs[id(job)] = names
+            self._inflight_outputs[id(job)] = (
+                job.kind,
+                frozenset({job.source_level, job.output_level}),
+            )
+
+    def finish(self, job: CompactionJob) -> None:
+        """Drop ``job`` from the conflict table (idempotent)."""
+        with self._inflight_lock:
+            self._inflight_inputs.pop(id(job), None)
+            self._inflight_outputs.pop(id(job), None)
+
+    def inflight_jobs(self) -> int:
+        """Number of registered in-flight compaction jobs."""
+        with self._inflight_lock:
+            return len(self._inflight_inputs)
 
     def forced_l0_job(self, version: Version) -> CompactionJob | None:
         """An L0 merge regardless of the trigger (explicit ``compact()``)."""
@@ -210,27 +290,184 @@ class Compactor:
         )
         return not deeper_data and not version.level_runs(target)
 
-    def _first_oversize_level(self, version: Version) -> int | None:
-        for level in range(1, self._options.num_levels - 1):
-            target = self._options.level_target_bytes(level)
-            if version.level_size_bytes(level) > target:
-                return level
-        return None
-
     # ------------------------------------------------------------------
     # Execution (no shared version state touched)
     # ------------------------------------------------------------------
-    def execute(self, job: CompactionJob) -> list[Run]:
-        """Merge the job's inputs into fresh output SSTs (the slow part)."""
-        outputs = self.merge_runs(
-            job.inputs, job.output_level, job.drop_tombstones
+    def execute(
+        self,
+        job: CompactionJob,
+        scheduler=None,
+        max_subcompactions: int = 1,
+    ) -> list[Run]:
+        """Merge the job's inputs into fresh output SSTs (the slow part).
+
+        Job-level accounting (``compactions``, bytes read/written, wall
+        time) happens once here regardless of how many slices the merge
+        was split into.
+        """
+        stats = self._env.stats
+        start_ns = time.perf_counter_ns()
+        stats.add(
+            compactions=1,
+            compaction_bytes_read=sum(run.file_size for run in job.inputs),
         )
+        ranges = (
+            self.plan_subcompactions(job, max_subcompactions)
+            if scheduler is not None and max_subcompactions > 1
+            else [(None, None)]
+        )
+        if len(ranges) <= 1:
+            outputs = self._merge_slice(job, None, None)
+        else:
+            outputs = self._execute_partitioned(job, ranges, scheduler)
+            stats.add(subcompactions=len(ranges))
         if job.kind.startswith("tiered"):
             with self._counter_lock:
                 group_id = self._next_group_id
                 self._next_group_id += 1
             for run in outputs:
                 run.group_id = group_id
+        stats.add(
+            compaction_bytes_written=sum(run.file_size for run in outputs),
+            compaction_time_ns=time.perf_counter_ns() - start_ns,
+        )
+        return outputs
+
+    def plan_subcompactions(
+        self, job: CompactionJob, max_slices: int
+    ) -> list[tuple[bytes | None, bytes | None]]:
+        """Cut the job's key domain into up to ``max_slices`` ranges.
+
+        Boundary candidates are the input runs' fence keys (the last key
+        of each data block — RocksDB's subcompaction heuristic), so cuts
+        fall on block boundaries and slice sizes track data volume, not
+        key-space width.  Returns half-open ``[lo, hi)`` ranges (None =
+        unbounded) that partition the whole domain; a job too small to
+        cut yields the single unbounded range.
+        """
+        if max_slices <= 1:
+            return [(None, None)]
+        candidates = sorted(
+            {
+                key
+                for run in job.inputs
+                for key in run.reader.fence_keys()[:-1]
+            }
+        )
+        if not candidates:
+            return [(None, None)]
+        cut_count = min(max_slices - 1, len(candidates))
+        cuts: list[bytes | None] = sorted(
+            {
+                candidates[(index + 1) * len(candidates) // (cut_count + 1)]
+                for index in range(cut_count)
+            }
+        )
+        edges: list[bytes | None] = [None] + cuts + [None]
+        return list(zip(edges, edges[1:]))
+
+    def _execute_partitioned(
+        self,
+        job: CompactionJob,
+        ranges: list[tuple[bytes | None, bytes | None]],
+        scheduler,
+    ) -> list[Run]:
+        """Run the slices via the scheduler and stitch outputs in key order.
+
+        Work-stealing: slices sit in a shared queue; the owner thread
+        pulls slices in a loop and helper jobs submitted to the scheduler
+        pull from the same queue.  A helper that never gets a worker slot
+        finds the queue empty and exits — the owner never waits *on the
+        helpers*, only on the slice-completion count, so a saturated pool
+        cannot deadlock the merge.
+        """
+        slice_outputs: list[list[Run] | None] = [None] * len(ranges)
+        errors: list[BaseException] = []
+        done = [0]
+        queue_lock = threading.Lock()
+        next_slice = [0]
+
+        def pull() -> None:
+            while True:
+                with queue_lock:
+                    index = next_slice[0]
+                    if index >= len(ranges) or errors:
+                        return
+                    next_slice[0] = index + 1
+                low, high = ranges[index]
+                try:
+                    result = self._merge_slice(job, low, high)
+                    with queue_lock:
+                        slice_outputs[index] = result
+                finally:
+                    # Count the slice even on error so the owner's wait
+                    # terminates; the error itself re-raises below.
+                    with queue_lock:
+                        done[0] += 1
+
+        def helper() -> None:
+            try:
+                pull()
+            except PowerCutError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 — reported to owner
+                with queue_lock:
+                    errors.append(exc)
+                raise
+
+        workers = getattr(scheduler, "workers", None)
+        helper_budget = len(ranges) - 1
+        if workers is not None:
+            helper_budget = min(helper_budget, max(0, workers - 1))
+        for _ in range(helper_budget):
+            scheduler.submit("subcompaction", helper)
+        try:
+            pull()  # the owner works the queue too
+        except PowerCutError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 — raised after the wait
+            with queue_lock:
+                errors.append(exc)
+        # Wait on *claimed* slices only: a helper still queued behind a
+        # saturated pool never claims one, so waiting on len(ranges)
+        # could wait on work nobody will do.  On the success path the
+        # owner's loop has claimed everything before reaching here.
+        if not scheduler.wait_for(lambda: done[0] >= next_slice[0], timeout_s=None):
+            raise StoreError("subcompaction wait exhausted its yield bound")
+        if errors:
+            raise errors[0]
+        stitched: list[Run] = []
+        for outputs in slice_outputs:
+            stitched.extend(outputs or [])
+        return stitched
+
+    def _merge_slice(
+        self, job: CompactionJob, low: bytes | None, high: bytes | None
+    ) -> list[Run]:
+        """Merge the job's inputs restricted to keys in ``[low, high)``."""
+        sources = [
+            (priority, run.reader.iterate_from(low or b""))
+            for priority, run in enumerate(job.inputs)
+        ]
+        merged = MergingIterator(sources)
+        outputs: list[Run] = []
+        writer: SSTWriter | None = None
+        factory = self._filter_factory_provider()
+        for key, tag, value in merged:
+            if low is not None and key < low:
+                continue
+            if high is not None and key >= high:
+                break
+            if job.drop_tombstones and tag == ValueTag.DELETE:
+                continue
+            if writer is None:
+                writer = self._new_writer(job.output_level, factory)
+            writer.add(key, tag, value)
+            if writer.estimated_file_size >= self._options.sst_size_bytes:
+                outputs.append(self._finish_writer(writer, job.output_level))
+                writer = None
+        if writer is not None and writer.num_entries:
+            outputs.append(self._finish_writer(writer, job.output_level))
         return outputs
 
     # ------------------------------------------------------------------
@@ -242,7 +479,10 @@ class Compactor:
         """Swap the job's inputs for ``outputs`` in ``version``.
 
         Removal is by file name (not "clear the level") so a job planned
-        against an older snapshot cannot swallow runs it never merged.
+        against an older snapshot cannot swallow runs it never merged,
+        and leveled installs union-merge with the level's surviving runs
+        (via :meth:`Version.merge_into_level`) so runs another job
+        published at the output level between plan and install survive.
         """
         input_names = {run.name for run in job.inputs}
         if job.kind in ("leveled-l0", "tiered-l0", "full"):
@@ -256,17 +496,17 @@ class Compactor:
                     for run in version.levels[level]
                     if run.name not in input_names
                 ]
-            version.install_level(job.output_level, outputs)
+            version.merge_into_level(job.output_level, outputs, input_names)
             return
         if job.kind == "leveled-l0":
-            version.install_level(1, outputs)
+            version.merge_into_level(1, outputs, input_names)
         elif job.kind == "leveled-level":
             version.levels[job.source_level] = [
                 run
                 for run in version.level_runs(job.source_level)
                 if run.name not in input_names
             ]
-            version.install_level(job.output_level, outputs)
+            version.merge_into_level(job.output_level, outputs, input_names)
         elif job.kind == "tiered-l0":
             version.prepend_group(1, outputs)
         elif job.kind == "tiered-level":
@@ -282,43 +522,6 @@ class Compactor:
     # ------------------------------------------------------------------
     # Machinery
     # ------------------------------------------------------------------
-    def merge_runs(
-        self, inputs: list[Run], output_level: int, drop_tombstones: bool
-    ) -> list[Run]:
-        """Merge input runs (newest wins) into size-capped output SSTs."""
-        stats = self._env.stats
-        start_ns = time.perf_counter_ns()
-        stats.add(
-            compactions=1,
-            compaction_bytes_read=sum(run.file_size for run in inputs),
-        )
-
-        sources = [
-            (priority, run.reader.iterate_from(b""))
-            for priority, run in enumerate(inputs)
-        ]
-        merged = MergingIterator(sources)
-        outputs: list[Run] = []
-        writer: SSTWriter | None = None
-        factory = self._filter_factory_provider()
-        for key, tag, value in merged:
-            if drop_tombstones and tag == ValueTag.DELETE:
-                continue
-            if writer is None:
-                writer = self._new_writer(output_level, factory)
-            writer.add(key, tag, value)
-            if writer.estimated_file_size >= self._options.sst_size_bytes:
-                outputs.append(self._finish_writer(writer, output_level))
-                writer = None
-        if writer is not None and writer.num_entries:
-            outputs.append(self._finish_writer(writer, output_level))
-
-        stats.add(
-            compaction_bytes_written=sum(run.file_size for run in outputs),
-            compaction_time_ns=time.perf_counter_ns() - start_ns,
-        )
-        return outputs
-
     def _new_writer(
         self, output_level: int, factory: FilterFactory | None
     ) -> SSTWriter:

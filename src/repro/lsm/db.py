@@ -28,6 +28,19 @@ implementation.  With workers, a full active memtable *seals* into a
 read-only immutable queue (the WAL rotates with it) and writes continue
 while a worker flushes it.
 
+With workers, up to ``max(1, max_background_jobs)`` jobs run *at once*:
+``_dispatch_maintenance`` fills free job slots with runnable work — at
+most one flush (oldest immutable first) plus compactions whose inputs
+and level pairs are disjoint from every in-flight job, as tracked by the
+compactor's conflict table (``begin``/``finish``).  A compaction may
+additionally split into key-range *subcompactions* executed by helper
+jobs and stitched back into one output set.  However many jobs run, the
+merge work itself is lock-free; every result funnels through a single
+serialized commit point — the version install under ``_mutex`` — so
+concurrent installs are ordered, each applies to the freshest clone
+(name-based removal + union-merge, never whole-level clobber), and
+replaced runs retire through the refcounted zombie queue exactly once.
+
 Readers never take the write path's locks.  Every read operation pins a
 *superversion* — an immutable ``(active memtable, sealed memtables, run
 metadata)`` triple swapped atomically under ``_sv_lock`` — so a query sees
@@ -39,7 +52,9 @@ Lock order (outer to inner): ``_write_lock`` → ``_mutex`` → ``_sv_lock``.
 ``_write_lock`` serializes writers and seals; ``_mutex`` serializes
 version installs and the manifest; ``_sv_lock`` (a plain mutex, never held
 across I/O) guards the superversion pointer, refcounts, and the deferred
-deletion list; ``_job_lock`` guards the maintenance-job flags.
+deletion list; ``_job_lock`` guards the job-slot bookkeeping
+(``_jobs_in_flight``, ``_flush_inflight``, the inline-mode flags); the
+compactor's ``_inflight_lock`` (conflict table) is a leaf below it.
 
 Backpressure mirrors RocksDB's two write-stall triggers: past the
 *slowdown* thresholds each write is admitted immediately but charged
@@ -172,6 +187,7 @@ class HealthReport:
     write_stall_time_ns: int = 0
     write_stall_timeouts: int = 0
     workers: int = 0
+    jobs_in_flight: int = 0
 
     @property
     def ok(self) -> bool:
@@ -256,6 +272,8 @@ class DB:
         self._job_lock = threading.Lock()
         self._maintenance_inflight = False
         self._maintenance_rearm = False
+        self._jobs_in_flight = 0
+        self._flush_inflight = False
         self._stall_state = "none"
 
         self._epoch = 0
@@ -491,7 +509,7 @@ class DB:
             def cleared() -> bool:
                 if self._background_error is not None or self._closed:
                     return True
-                return not self._stall_conditions()[1]
+                return self._stall_cleared()
 
             drained = self._scheduler.wait_for(
                 cleared, self.options.write_stall_timeout_s
@@ -513,11 +531,66 @@ class DB:
         if slowdown:
             self.stats.add(
                 write_slowdowns=1,
-                write_delay_time_ns=self.options.delayed_write_ns,
+                write_delay_time_ns=self._write_delay_ns(),
             )
             self._stall_state = "slowdown"
+            # Debt with no job running (post-resume, races): kick the
+            # dispatcher.  Racy read — with jobs live, completions
+            # re-dispatch, so a stale skip here self-heals.
+            if self._concurrent and self._jobs_in_flight == 0:
+                self._schedule_maintenance()
         else:
             self._stall_state = "none"
+
+    def _stall_cleared(self) -> bool:
+        """Stop-trigger release, with hysteresis on the memtable backlog.
+
+        Resuming the moment the backlog dips below
+        ``max_immutable_memtables`` lets the writer seal once and stop
+        again immediately — a stop per seal.  Requiring one extra step of
+        drain (the backlog below the *slowdown* threshold) costs one fast
+        flush of extra wait and halves the stop frequency.
+        """
+        sv = self._super
+        opts = self.options
+        return (
+            len(sv.version.level0) < opts.level0_stop_writes_trigger
+            and len(sv.immutables) < max(1, opts.max_immutable_memtables - 1)
+        )
+
+    def _write_delay_ns(self) -> int:
+        """Debt-proportional modeled slowdown charge for one write.
+
+        RocksDB's ``delayed_write_rate`` analogue, simplified: the charge
+        scales with how far the worse of the two debt gauges (L0 run
+        count, sealed-memtable backlog) has travelled from its slowdown
+        trigger toward its stop trigger — mild debt costs a fraction of
+        ``delayed_write_ns``, near-stop debt the full charge.  Always at
+        least 1 ns so a slowed write is visible in the counters.
+        """
+        opts = self.options
+        sv = self._super
+
+        def travelled(value: int, slow: int, stop: int) -> float:
+            if value < slow:
+                return 0.0
+            if stop <= slow:
+                return 1.0
+            return min(1.0, (value - slow + 1) / (stop - slow + 1))
+
+        debt = max(
+            travelled(
+                len(sv.version.level0),
+                opts.level0_slowdown_writes_trigger,
+                opts.level0_stop_writes_trigger,
+            ),
+            travelled(
+                len(sv.immutables),
+                max(1, opts.max_immutable_memtables - 1),
+                opts.max_immutable_memtables,
+            ),
+        )
+        return max(1, int(opts.delayed_write_ns * debt))
 
     # ------------------------------------------------------------------
     # Sealing and background maintenance
@@ -561,8 +634,16 @@ class DB:
         return True
 
     def _schedule_maintenance(self) -> None:
-        """Ensure one maintenance job is (or will be) running."""
+        """Ensure pending maintenance debt is (or will be) worked on.
+
+        Concurrent mode fills free job slots via the dispatcher; inline
+        mode keeps the historical single-job loop (a loop, not recursion,
+        so deep debt cannot blow the stack on the caller's thread).
+        """
         if self._closed:
+            return
+        if self._concurrent:
+            self._dispatch_maintenance()
             return
         with self._job_lock:
             if self._maintenance_inflight:
@@ -570,6 +651,113 @@ class DB:
                 return
             self._maintenance_inflight = True
         self._scheduler.submit("maintenance", self._maintenance_job)
+
+    def _job_slots(self) -> int:
+        """Concurrent job-slot budget (>= 1 even for injected schedulers)."""
+        return max(1, self.options.max_background_jobs)
+
+    def _dispatch_maintenance(self) -> None:
+        """Fill free job slots with runnable work (concurrent mode only).
+
+        At most one flush runs at a time (flushes must retire immutables
+        oldest-first); the remaining slots take compactions the conflict
+        table deems disjoint from everything in flight.  Each completing
+        job calls back here, so slots refill until ``plan()`` runs dry.
+        """
+        while self._background_error is None and not self._closed:
+            # Racy fast path: with all slots busy, skip the lock — every
+            # job completion re-dispatches, so a stale read self-heals.
+            if self._jobs_in_flight >= self._job_slots():
+                return
+            kind: str
+            body: Callable[[], None]
+            with self._job_lock:
+                if self._jobs_in_flight >= self._job_slots():
+                    return
+                sv = self._super
+                if sv.immutables and not self._flush_inflight:
+                    self._flush_inflight = True
+                    kind, body = "flush", self._flush_job
+                else:
+                    cjob = self._compactor.plan(sv.version)
+                    if cjob is None:
+                        return
+                    try:
+                        self._compactor.begin(cjob)
+                    except StoreError:
+                        return  # lost a plan/begin race; a finishing job re-plans
+                    kind = "compaction"
+                    body = lambda job=cjob: self._compaction_job(job)  # noqa: E731
+                self._jobs_in_flight += 1
+                if self._jobs_in_flight > 1:
+                    self.stats.add(jobs_overlapped=1)
+                self.stats.observe_max(
+                    "max_jobs_in_flight", self._jobs_in_flight
+                )
+            self._scheduler.submit(kind, body)
+
+    def _flush_job(self) -> None:
+        """Job body: drain the immutable backlog, release the slot, refill.
+
+        Drains in a loop rather than one-memtable-per-job: under write
+        pressure the backlog is what stops writers, and the
+        re-dispatch round-trip between single flushes is latency the
+        stalled writer would eat.
+        """
+        completed = False
+        try:
+            while self._background_error is None and self._super.immutables:
+                if not self._run_background(
+                    "flush", self._flush_oldest_immutable
+                ):
+                    break
+            completed = True
+        finally:
+            with self._job_lock:
+                self._flush_inflight = False
+                self._jobs_in_flight -= 1
+            self._scheduler.notify()
+        # Skipped after PowerCutError/unexpected unwinding: no further
+        # submissions to a dying scheduler.
+        if completed and not self._closed:
+            self._dispatch_maintenance()
+
+    def _compaction_job(self, job: CompactionJob) -> None:
+        """Job body: run one registered compaction, release slot, refill."""
+        completed = False
+        try:
+            if self._background_error is None:
+                self._run_background(
+                    "compaction", lambda: self._run_compaction_job(job)
+                )
+            completed = True
+        finally:
+            self._compactor.finish(job)
+            with self._job_lock:
+                self._jobs_in_flight -= 1
+            self._scheduler.notify()
+        if completed and not self._closed:
+            self._dispatch_maintenance()
+
+    def _run_compaction_guarded(self, job: CompactionJob) -> bool:
+        """Run a compaction bracketed by conflict-table registration.
+
+        The foreground/inline entry point (``compact``, inline
+        maintenance, trigger settling); background jobs register at
+        dispatch instead.  Returns False if the job conflicts with an
+        in-flight job (the caller simply re-plans later) or the body
+        degraded the store.
+        """
+        try:
+            self._compactor.begin(job)
+        except StoreError:
+            return False
+        try:
+            return self._run_background(
+                "compaction", lambda: self._run_compaction_job(job)
+            )
+        finally:
+            self._compactor.finish(job)
 
     def _maintenance_job(self) -> None:
         """Drain maintenance debt: flush sealed memtables, then compact.
@@ -606,9 +794,7 @@ class DB:
         job = self._compactor.plan(sv.version)
         if job is None:
             return False
-        return self._run_background(
-            "compaction", lambda: self._run_compaction_job(job)
-        )
+        return self._run_compaction_guarded(job)
 
     def _flush_oldest_immutable(self) -> None:
         """Flush the oldest sealed memtable to a new L0 SST.
@@ -664,7 +850,11 @@ class DB:
         manifest persisted before the new superversion is published.
         Input files become zombies, destroyed once unreferenced.
         """
-        outputs = self._compactor.execute(job)
+        outputs = self._compactor.execute(
+            job,
+            scheduler=self._scheduler if self._concurrent else None,
+            max_subcompactions=self._max_subcompactions(),
+        )
         with self._mutex:
             current = self._super
             new_version = current.version.clone()
@@ -675,15 +865,17 @@ class DB:
             )
             self._install_super(new_sv, obsolete=job.inputs)
 
+    def _max_subcompactions(self) -> int:
+        """Effective slice budget: the option, or follow the job slots."""
+        return self.options.max_subcompactions or self._job_slots()
+
     def _settle_triggers(self) -> None:
         """Run planned compactions until the tree is in shape (foreground)."""
         while self._background_error is None:
             job = self._compactor.plan(self._super.version)
             if job is None:
                 return
-            if not self._run_background(
-                "compaction", lambda: self._run_compaction_job(job)
-            ):
+            if not self._run_compaction_guarded(job):
                 return
 
     def _drain_maintenance(self, timeout_s: float = 60.0) -> bool:
@@ -695,8 +887,15 @@ class DB:
             if self._background_error is not None:
                 return True
             with self._job_lock:
-                inflight = self._maintenance_inflight
-            return not inflight and not self._super.immutables
+                if self._maintenance_inflight or self._jobs_in_flight:
+                    return False
+            sv = self._super
+            # plan() is read-only and the conflict table is empty once no
+            # job is in flight, so this is exactly "would dispatch do more
+            # work" — with job completions re-dispatching, reaching here
+            # with a non-None plan can only be a transient race, and the
+            # next predicate evaluation settles it.
+            return not sv.immutables and self._compactor.plan(sv.version) is None
 
         return self._scheduler.wait_for(settled, timeout_s)
 
@@ -742,9 +941,7 @@ class DB:
                 return
             job = self._compactor.forced_l0_job(self._super.version)
             if job is not None:
-                if self._run_background(
-                    "compaction", lambda: self._run_compaction_job(job)
-                ):
+                if self._run_compaction_guarded(job):
                     self._settle_triggers()
 
     def force_full_compaction(self) -> None:
@@ -766,9 +963,7 @@ class DB:
                 return
             job = self._compactor.full_compaction_job(self._super.version)
             if job is not None:
-                self._run_background(
-                    "compaction", lambda: self._run_compaction_job(job)
-                )
+                self._run_compaction_guarded(job)
 
     # ------------------------------------------------------------------
     # Background-error state machine
@@ -821,6 +1016,7 @@ class DB:
             write_stall_time_ns=self.stats.write_stall_time_ns,
             write_stall_timeouts=self.stats.write_stall_timeouts,
             workers=self.options.max_background_jobs,
+            jobs_in_flight=self._jobs_in_flight,
         )
 
     def resume(self) -> bool:

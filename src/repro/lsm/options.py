@@ -155,6 +155,11 @@ class DBOptions:
     #: :class:`~repro.errors.WriteStallTimeoutError`.
     write_stall_timeout_s: float = 10.0
 
+    #: Maximum key-range slices one compaction may be split into (RocksDB's
+    #: ``max_subcompactions``).  0 (the default) follows
+    #: ``max(1, max_background_jobs)``; 1 disables splitting.
+    max_subcompactions: int = 0
+
     #: Scheduler constructor ``(options) -> scheduler`` overriding the
     #: default choice (None = InlineScheduler for 0 jobs, ThreadPoolScheduler
     #: otherwise).  The torture harness injects DeterministicScheduler here.
@@ -208,6 +213,8 @@ class DBOptions:
             raise InvalidOptionsError("delayed_write_ns must be >= 0")
         if self.write_stall_timeout_s <= 0:
             raise InvalidOptionsError("write_stall_timeout_s must be > 0")
+        if self.max_subcompactions < 0:
+            raise InvalidOptionsError("max_subcompactions must be >= 0")
         if self.scheduler_factory is not None and not callable(
             self.scheduler_factory
         ):

@@ -90,6 +90,7 @@ class InlineScheduler:
 
     concurrent = False
     crashed = False
+    workers = 1  # one caller thread; nothing ever runs alongside it
 
     def submit(self, name: str, fn: Callable[[], object]) -> JobHandle:
         handle = JobHandle(name)
@@ -131,6 +132,9 @@ class ThreadPoolScheduler:
         self.crashed = False
         self._closed = False
         self._threads: List[threading.Thread] = []
+        #: Pool width — callers (subcompaction fan-out) use it to bound
+        #: how many helper jobs are worth submitting.
+        self.workers = max(1, num_workers)
         for index in range(max(1, num_workers)):
             thread = threading.Thread(
                 target=self._worker_main, name=f"{name}-{index}", daemon=True
@@ -266,6 +270,10 @@ class DeterministicScheduler:
     """
 
     concurrent = True
+    #: No fixed pool: every submit gets a (parked) thread, so callers may
+    #: fan out as wide as they like and the seeded token passing decides
+    #: who actually runs.
+    workers = None
 
     def __init__(self, seed: int = 0, wait_yield_bound: int = 50_000) -> None:
         self._rng = random.Random(seed)

@@ -337,6 +337,14 @@ class SSTReader:
         """Number of data blocks (fence-pointer entries)."""
         return len(self._fence_pointers)
 
+    def fence_keys(self) -> list[bytes]:
+        """Last key of each data block, ascending (no I/O).
+
+        Subcompaction planning samples these as key-range cut points so
+        slices land on block boundaries.
+        """
+        return list(self._fence_keys)
+
     def approximate_bytes_in_range(self, low: bytes, high: bytes) -> int:
         """Estimated on-disk bytes of data blocks touching ``[low, high]``.
 

@@ -89,6 +89,11 @@ class PerfStats:
     filter_construction_ns: int = 0
     filters_built: int = 0
 
+    # --- Background-job overlap ---
+    subcompactions: int = 0       # partitioned key-range slices executed
+    jobs_overlapped: int = 0      # job dispatches that joined a live job
+    max_jobs_in_flight: int = 0   # high-water mark of concurrent jobs
+
     def __post_init__(self) -> None:
         # Not a dataclass field: ``fields(self)`` must keep iterating only
         # the counters for snapshot/diff/reset and keyword construction.
@@ -104,6 +109,16 @@ class PerfStats:
         with self._lock:
             for name, delta in deltas.items():
                 setattr(self, name, getattr(self, name) + delta)
+
+    def observe_max(self, name: str, value: int) -> None:
+        """Atomically raise the named counter to ``value`` if it is higher.
+
+        High-water-mark counters (``max_jobs_in_flight``) are not additive,
+        so ``add`` would double-count them; this is their mutation path.
+        """
+        with self._lock:
+            if value > getattr(self, name):
+                setattr(self, name, value)
 
     def snapshot(self) -> "PerfStats":
         """Consistent copy of the current counters."""

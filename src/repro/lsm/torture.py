@@ -68,6 +68,17 @@ class TortureConfig:
     compaction_style: str = "leveled"
     with_filters: bool = True
     io_retry_attempts: int = 6     # generous: rate-injected runs must finish
+    #: Probability mass given to plain puts.  The default keeps the
+    #: historical op mix (and thus every existing seed's schedule)
+    #: byte-identical; overlap-focused configs raise it so seals come fast
+    #: enough for flushes and compactions to genuinely collide.
+    put_bias: float = 0.55
+    #: Seal threshold for the store under test (options floor: 1 KiB).
+    #: Background jobs yield only at durable writes, so to observe
+    #: overlapping jobs the writer must seal within a job's handful of
+    #: yields — overlap configs keep this at the floor and grow
+    #: ``value_repeat`` until nearly every put seals.
+    memtable_size_bytes: int = 1024
 
 
 def torture_options(
@@ -86,7 +97,7 @@ def torture_options(
         )
     return DBOptions(
         key_bits=32,
-        memtable_size_bytes=1024,
+        memtable_size_bytes=config.memtable_size_bytes,
         sst_size_bytes=4096,
         block_size_bytes=512,
         block_cache_bytes=0,  # every read touches the (possibly hostile) device
@@ -103,14 +114,25 @@ def build_schedule(seed: int, config: TortureConfig) -> list[tuple]:
     """Deterministic op list; values are unique per (seed, op index)."""
     rng = random.Random(seed)
     ops: list[tuple] = []
+    # The non-put op kinds keep their historical relative proportions
+    # (17 : 16 : 8 : 4 out of the default 45% non-put mass).
+    if config.put_bias == 0.55:
+        # Exact historical thresholds: every pre-existing seed's schedule
+        # stays byte-identical (no float round-trip through the ratios).
+        delete_cut, batch_cut, flush_cut = 0.72, 0.88, 0.96
+    else:
+        rest = max(1.0 - config.put_bias, 1e-9)
+        delete_cut = config.put_bias + rest * (17 / 45)
+        batch_cut = config.put_bias + rest * (33 / 45)
+        flush_cut = config.put_bias + rest * (41 / 45)
     for index in range(config.num_ops):
         value = f"s{seed}o{index}".encode() * config.value_repeat
         draw = rng.random()
-        if draw < 0.55:
+        if draw < config.put_bias:
             ops.append(("put", rng.randrange(config.key_space), value))
-        elif draw < 0.72:
+        elif draw < delete_cut:
             ops.append(("delete", rng.randrange(config.key_space)))
-        elif draw < 0.88:
+        elif draw < batch_cut:
             keys = rng.sample(
                 range(config.key_space), rng.randint(1, config.batch_max)
             )
@@ -123,7 +145,7 @@ def build_schedule(seed: int, config: TortureConfig) -> list[tuple]:
                 for position, key in enumerate(keys)
             )
             ops.append(("batch", items))
-        elif draw < 0.96:
+        elif draw < flush_cut:
             ops.append(("flush",))
         else:
             ops.append(("compact",))
@@ -190,6 +212,10 @@ class CrashPointResult:
     durable_ops: int
     acked_ops: int
     violations: list[str] = field(default_factory=list)
+    #: Maintenance overlap observed before the cut (concurrent runs only):
+    #: dispatches that joined a live job, and the in-flight high-water mark.
+    jobs_overlapped: int = 0
+    max_jobs_in_flight: int = 0
 
 
 @dataclass
@@ -200,6 +226,10 @@ class SeedReport:
     crash_points: int          # durable ops enumerated == runs that crashed
     recoveries: int
     violations: list[str] = field(default_factory=list)
+    #: Aggregated over the sweep (concurrent runs only): crash points whose
+    #: run had overlapping jobs, and the highest in-flight count seen.
+    overlapped_crash_points: int = 0
+    max_jobs_in_flight: int = 0
 
     @property
     def ok(self) -> bool:
@@ -312,6 +342,23 @@ def _verify_recovery(
                 violations.append(
                     f"scan mismatch at key {key}: {value!r} != {expected!r}"
                 )
+        # Zombie-run hygiene: after recovery the on-disk image must be
+        # exactly the manifest — a cut between a concurrent install and its
+        # input GC must not leak orphan SSTs, and no temp files survive.
+        live = {run.name for run in db._super.version.all_runs_newest_first()}
+        on_disk = {
+            name for name in os.listdir(path) if name.endswith(".sst")
+        }
+        leaked = on_disk - live
+        if leaked:
+            violations.append(
+                f"zombie sst files after recovery: {sorted(leaked)}"
+            )
+        temps = sorted(
+            name for name in os.listdir(path) if name.endswith(".tmp")
+        )
+        if temps:
+            violations.append(f"temp files survived recovery: {temps}")
     finally:
         db.close()
     return violations
@@ -498,6 +545,8 @@ def run_concurrent_crash_point(
         crashed=crashed or env.crashed,
         durable_ops=env.durable_ops,
         acked_ops=acked,
+        jobs_overlapped=db.stats.jobs_overlapped,
+        max_jobs_in_flight=db.stats.max_jobs_in_flight,
     )
     if result.crashed:
         env.crash()
@@ -521,6 +570,11 @@ def concurrent_torture_seed(
             result = run_concurrent_crash_point(
                 base_dir, seed, sched_seed, crash_point, config
             )
+            report.max_jobs_in_flight = max(
+                report.max_jobs_in_flight, result.max_jobs_in_flight
+            )
+            if result.jobs_overlapped:
+                report.overlapped_crash_points += 1
             if not result.crashed:
                 break
             report.crash_points += 1
@@ -565,7 +619,12 @@ def schedule_equivalence(
         }
         db.close()
         shutil.rmtree(path, ignore_errors=True)
-        return {"points": points, "ranges": ranges}
+        return {
+            "points": points,
+            "ranges": ranges,
+            "jobs_overlapped": db.stats.jobs_overlapped,
+            "max_jobs_in_flight": db.stats.max_jobs_in_flight,
+        }
 
     outcomes = {"inline": run("inline", torture_options(config))}
     for sched_seed in sched_seeds:
@@ -579,9 +638,18 @@ def schedule_equivalence(
         if outcome["points"] != baseline["points"]
         or outcome["ranges"] != baseline["ranges"]
     ]
+    concurrent = [
+        outcome
+        for label, outcome in outcomes.items()
+        if label != "inline"
+    ]
     return {
         "seed": seed,
         "interleavings": len(outcomes),
         "equivalent": not mismatches,
         "mismatches": mismatches,
+        "jobs_overlapped": sum(o["jobs_overlapped"] for o in concurrent),
+        "max_jobs_in_flight": max(
+            (o["max_jobs_in_flight"] for o in concurrent), default=0
+        ),
     }

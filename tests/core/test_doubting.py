@@ -200,3 +200,94 @@ def test_survivor_indexes_match_bulk_probe(small_keys):
     survivors = filt.survivor_indexes(probe)
     expected = np.nonzero(filt.may_contain_many_ints(probe))[0]
     assert np.array_equal(survivors, expected)
+
+
+# ---------------------------------------------------------------------------
+# Closed-form dyadic decomposition parity (vs. the scalar greedy walk)
+# ---------------------------------------------------------------------------
+
+_U64_TOP = (1 << 64) - 1
+
+
+def _parity_case(lo, hi, max_height, budget):
+    got = doubting._decompose_chunk_closed(lo, hi, max_height, budget)
+    want = doubting._decompose_chunk_reference(lo, hi, max_height, budget)
+    assert got == want, (lo, hi, max_height, budget)
+
+
+def test_decompose_closed_matches_reference_exhaustive():
+    """Every (cursor, high, height, budget) over a small domain agrees."""
+    for max_height in range(5):
+        for lo in range(24):
+            for hi in range(lo, 24):
+                for budget in (1, 2, 5, 100):
+                    _parity_case(lo, hi, max_height, budget)
+
+
+def test_decompose_closed_matches_reference_random(rng):
+    for _ in range(2000):
+        bits = rng.choice([8, 16, 32, 48, 63, 64])
+        max_height = rng.choice([0, 1, bits // 2, bits, bits + 3])
+        hi = rng.randrange(1 << bits)
+        lo = rng.randrange(hi + 1)
+        budget = rng.choice([1, 10, 1 << 8, 1 << 16, 1 << 40])
+        _parity_case(lo, hi, max_height, budget)
+
+
+def test_decompose_closed_uint64_edges():
+    """The 2**64 - 1 bound and full-domain cover never overflow."""
+    top = _U64_TOP
+    for lo in (0, 1, top - 1, top, 1 << 63):
+        for hi in (1 << 63, top - 1, top):
+            if lo > hi:
+                continue
+            for max_height in (0, 1, 32, 64, 65, 80):
+                for budget in (1, 1 << 16, 1 << 70):
+                    _parity_case(lo, hi, max_height, budget)
+    # Full domain under a taller-than-64 tree: exactly one height-64 block.
+    segments, cursor, leaves = doubting._decompose_chunk_closed(
+        0, top, 66, 1 << 70
+    )
+    assert segments == [(64, 0, 1)]
+    assert cursor == 1 << 64 and leaves == 1 << 64
+
+
+def test_decompose_batch_matches_reference(rng):
+    """The batched closed form returns each query's full scalar cover."""
+    for _ in range(200):
+        cursors, highs, tops = [], [], []
+        for _ in range(rng.randrange(1, 40)):
+            bits = rng.choice([4, 8, 16, 32, 48, 63, 64])
+            hi = rng.randrange(1 << bits)
+            lo = rng.randrange(hi + 1)
+            cursors.append(lo)
+            highs.append(hi)
+            tops.append(rng.choice([0, 1, 2, bits // 2, min(bits, 63)]))
+        covers = doubting._decompose_batch(cursors, highs, tops)
+        for lo, hi, top, got in zip(cursors, highs, tops, covers):
+            span = hi - lo + 1
+            want = doubting._decompose_chunk_reference(lo, hi, top, span)[0]
+            assert got == want, (lo, hi, top)
+
+
+def test_decompose_batch_uint64_edges():
+    cursors = [0, _U64_TOP - 1, _U64_TOP, 0, 7]
+    highs = [_U64_TOP, _U64_TOP, _U64_TOP, 1 << 63, _U64_TOP]
+    tops = [63, 63, 0, 40, 0]
+    covers = doubting._decompose_batch(cursors, highs, tops)
+    for lo, hi, top, got in zip(cursors, highs, tops, covers):
+        span = hi - lo + 1
+        want = doubting._decompose_chunk_reference(lo, hi, top, span)[0]
+        assert got == want, (lo, hi, top)
+
+
+def test_decompose_dispatcher_budget_and_progress():
+    """The dispatcher front door keeps the walk's budget semantics."""
+    # Budget-cut call: exactly the scalar result, cursor mid-range.
+    segments, cursor, leaves = doubting._decompose_chunk(3, 1 << 20, 8, 64)
+    assert segments == doubting._decompose_chunk_reference(3, 1 << 20, 8, 64)[0]
+    assert cursor <= (1 << 20) and leaves >= 64
+    # Degenerate calls make no progress and emit nothing.
+    assert doubting._decompose_chunk(5, 4, 3, 10) == ([], 5, 0)
+    assert doubting._decompose_chunk_closed(5, 4, 3, 10) == ([], 5, 0)
+    assert doubting._decompose_chunk_closed(0, 100, 4, 0) == ([], 0, 0)

@@ -25,8 +25,10 @@ import pytest
 from repro.errors import (
     PowerCutError,
     ReadOnlyStoreError,
+    StoreError,
     WriteStallTimeoutError,
 )
+from repro.lsm.compaction import CompactionJob, Compactor
 from repro.lsm.db import DB
 from repro.lsm.faults import FaultInjectionEnv
 from repro.lsm.options import DBOptions
@@ -444,3 +446,102 @@ class TestHealthSurface:
         db.wait_idle()
         assert db.health().pending_immutables == 0
         db.close()
+
+
+# ----------------------------------------------------------------------
+# Compactor conflict table
+# ----------------------------------------------------------------------
+def _fake_job(kind, names, source, output):
+    from types import SimpleNamespace
+
+    return CompactionJob(
+        kind=kind,
+        inputs=[SimpleNamespace(name=name) for name in names],
+        output_level=output,
+        drop_tombstones=False,
+        source_level=source,
+    )
+
+
+def _bare_compactor():
+    # begin/finish/conflicts touch only the conflict table; the storage
+    # collaborators are never consulted.
+    return Compactor(None, DBOptions(key_bits=32), None, None)
+
+
+class TestConflictTable:
+    def test_shared_input_run_conflicts(self):
+        compactor = _bare_compactor()
+        first = _fake_job("tiered-level", ["000001.sst", "000002.sst"], 1, 2)
+        compactor.begin(first)
+        overlapping = _fake_job("tiered-level", ["000002.sst"], 3, 4)
+        assert compactor.conflicts(overlapping)
+        with pytest.raises(StoreError):
+            compactor.begin(overlapping)
+        # finish() releases the inputs; the same job is then admissible.
+        compactor.finish(first)
+        compactor.begin(overlapping)
+        assert compactor.inflight_jobs() == 1
+
+    def test_leveled_jobs_never_share_a_level(self):
+        compactor = _bare_compactor()
+        compactor.begin(_fake_job("leveled-level", ["000001.sst"], 1, 2))
+        # Disjoint inputs but touching L2: leveled installs rewrite the
+        # whole level, so this must be refused.
+        blocked = _fake_job("leveled-level", ["000009.sst"], 2, 3)
+        assert compactor.conflicts(blocked)
+        disjoint = _fake_job("leveled-level", ["000009.sst"], 3, 4)
+        assert not compactor.conflicts(disjoint)
+        compactor.begin(disjoint)
+        assert compactor.inflight_jobs() == 2
+
+    def test_tiered_jobs_may_share_a_level(self):
+        compactor = _bare_compactor()
+        compactor.begin(_fake_job("tiered-level", ["000001.sst"], 1, 2))
+        # Tiered installs only prepend a group / remove inputs by name,
+        # so a disjoint-input job targeting the same level is safe.
+        neighbor = _fake_job("tiered-level", ["000005.sst"], 2, 3)
+        assert not compactor.conflicts(neighbor)
+        # ...but a leveled job on those levels still conflicts.
+        assert compactor.conflicts(
+            _fake_job("leveled-level", ["000007.sst"], 2, 3)
+        )
+
+    def test_finish_is_idempotent(self):
+        compactor = _bare_compactor()
+        job = _fake_job("leveled-l0", ["000001.sst"], 0, 1)
+        compactor.begin(job)
+        compactor.finish(job)
+        compactor.finish(job)
+        assert compactor.inflight_jobs() == 0
+        assert not compactor.conflicts(job)
+
+
+# ----------------------------------------------------------------------
+# Overlap accounting
+# ----------------------------------------------------------------------
+class TestJobOverlap:
+    def test_deterministic_run_overlaps_jobs(self, tmp_path):
+        """With 2 job slots and per-put seals, jobs genuinely overlap.
+
+        Values nearly fill the memtable so every put seals, queueing a
+        flush while the previous flush's compaction is still in flight.
+        The deterministic scheduler makes the interleaving replayable, so
+        this pins ``jobs_overlapped``/``max_jobs_in_flight`` rather than
+        hoping thread timing cooperates.
+        """
+        db = DB(
+            str(tmp_path / "db"),
+            _options(
+                max_background_jobs=2,
+                scheduler_factory=lambda _opts: DeterministicScheduler(seed=0),
+            ),
+        )
+        for key in range(24):
+            db.put(key % 8, b"x" * 960)
+        db.wait_idle()
+        assert db.stats.max_jobs_in_flight >= 2
+        assert db.stats.jobs_overlapped > 0
+        answers = {key: db.get(key) for key in range(8)}
+        db.close()
+        assert all(value == b"x" * 960 for value in answers.values())

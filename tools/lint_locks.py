@@ -72,6 +72,8 @@ RULES: dict[str, dict[str, Rule]] = {
         # Maintenance job bookkeeping: _job_lock only.
         "_maintenance_inflight": _rule(("_job_lock",), ("__init__",)),
         "_maintenance_rearm": _rule(("_job_lock",), ("__init__",)),
+        "_jobs_in_flight": _rule(("_job_lock",), ("__init__",)),
+        "_flush_inflight": _rule(("_job_lock",), ("__init__",)),
         # Stall state: written only by the (single) writer holding
         # _write_lock inside _apply_backpressure, and by resume().
         "_stall_state": _rule(
@@ -83,6 +85,10 @@ RULES: dict[str, dict[str, Rule]] = {
     "Compactor": {
         "_next_file_number": _rule(("_counter_lock",), ("__init__",)),
         "_next_group_id": _rule(("_counter_lock",), ("__init__",)),
+        # Conflict table: registered/dropped under _inflight_lock only;
+        # ``_conflicts_locked`` carries the caller-holds-it convention.
+        "_inflight_inputs": _rule(("_inflight_lock",), ("__init__",)),
+        "_inflight_outputs": _rule(("_inflight_lock",), ("__init__",)),
     },
 }
 
