@@ -47,18 +47,23 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_backpressure.json"
 
 
 def _options(jobs: int) -> DBOptions:
+    # Level base and SST size are tight and the per-level window narrow so
+    # an oversize level splinters into several disjoint leveled jobs even
+    # at smoke scale — the workload that exercises range-disjoint
+    # same-level-pair admission, not just flush/compaction overlap.
     return DBOptions(
         key_bits=32,
         memtable_size_bytes=4 << 10,
-        sst_size_bytes=16 << 10,
+        sst_size_bytes=8 << 10,
         block_size_bytes=1024,
         block_cache_bytes=0,
         level0_file_num_compaction_trigger=2,
-        max_bytes_for_level_base=64 << 10,
+        max_bytes_for_level_base=16 << 10,
         max_background_jobs=jobs,
         max_immutable_memtables=2,
         level0_slowdown_writes_trigger=4,
         level0_stop_writes_trigger=8,
+        max_compaction_input_files=2,
     )
 
 
@@ -108,6 +113,8 @@ def run_config(label: str, jobs: int, num_ops: int, workdir: str) -> dict:
         "subcompactions": stats.subcompactions,
         "jobs_overlapped": stats.jobs_overlapped,
         "max_jobs_in_flight": stats.max_jobs_in_flight,
+        "leveled_range_admissions": stats.leveled_range_admissions,
+        "stale_jobs_rejected": stats.stale_jobs_rejected,
         "final_stall_state": health.stall_state,
         "_answers": answers,  # stripped before serialization
     }
@@ -131,8 +138,10 @@ def main(argv: list[str] | None = None) -> int:
     num_ops = 800 if args.smoke else args.ops
     # Full runs interleave three rounds and keep the per-config median:
     # run-to-run machine noise on this workload (~±10%) would otherwise
-    # swamp the inline/background comparison.  Smoke stays single-round.
-    rounds = 1 if args.smoke else 3
+    # swamp the inline/background comparison.  Smoke stays single-round
+    # unless it gates CI (--check), where a single ~0.1 s round is far
+    # too noisy to compare throughputs.
+    rounds = 1 if args.smoke and not args.check else 3
 
     configs = (("inline", 0), ("background", 2), ("background-4", 4))
     rounds_by_label: dict[str, list[dict]] = {label: [] for label, _ in configs}
@@ -177,13 +186,16 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if args.check:
         inline, background = records[0], records[1]
-        # Small tolerance: CI machines are noisy and the smoke run is
-        # short; a real serialization regression loses far more than 10%.
-        floor = 0.9 * inline["puts_per_second"]
+        # Tolerance: CI machines are noisy and the smoke rounds are short
+        # (~0.1 s each, so even the median of three swings ±10%); a real
+        # serialization regression loses far more than this.
+        factor = 0.85 if args.smoke else 0.9
+        floor = factor * inline["puts_per_second"]
         if background["puts_per_second"] < floor:
             print(
                 f"CHECK FAILED: background {background['puts_per_second']} "
-                f"puts/s below 0.9x inline ({inline['puts_per_second']})",
+                f"puts/s below {factor}x inline "
+                f"({inline['puts_per_second']})",
                 file=sys.stderr,
             )
             return 1
@@ -193,7 +205,17 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
-        print("check passed: background >= 0.9x inline, jobs overlapped")
+        if background["leveled_range_admissions"] == 0:
+            print(
+                "CHECK FAILED: no leveled jobs were ever admitted into the "
+                "same level pair (range-disjoint admission never fired)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"check passed: background >= {factor}x inline, jobs "
+            "overlapped, same-level-pair leveled admissions observed"
+        )
     return 0
 
 

@@ -51,11 +51,25 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_torture.json"
 
 def run_matrix(seeds: int, style: str, sched_seeds: int) -> dict:
     config = TortureConfig(compaction_style=style)
+    # The default workload's narrow key space never splinters a level, so
+    # same-level-pair leveled parallelism gets a dedicated short sweep: a
+    # wide-key, single-run-window config where an oversize level yields
+    # several disjoint-footprint jobs per pass and the conflict table
+    # admits two leveled compactions into one level pair concurrently.
+    range_config = TortureConfig(
+        num_ops=32,
+        key_space=512,
+        value_repeat=96,
+        put_bias=0.95,
+        max_compaction_input_files=1,
+        compaction_style=style,
+    )
     interleavings = tuple(range(sched_seeds))
     records = []
     violations: list[str] = []
     total_crash_points = 0
     total_concurrent_crash_points = 0
+    total_range_admissions = 0
     started = time.time()
     with tempfile.TemporaryDirectory(prefix="torture-") as workdir:
         for seed in range(seeds):
@@ -69,6 +83,7 @@ def run_matrix(seeds: int, style: str, sched_seeds: int) -> dict:
             )
             total_crash_points += report.crash_points
             total_concurrent_crash_points += concurrent.crash_points
+            total_range_admissions += concurrent.leveled_range_admissions
             violations.extend(report.violations)
             violations.extend(concurrent.violations)
             if not interleaving_eq["equivalent"]:
@@ -104,6 +119,9 @@ def run_matrix(seeds: int, style: str, sched_seeds: int) -> dict:
                     "concurrent_crash_points": concurrent.crash_points,
                     "concurrent_recoveries": concurrent.recoveries,
                     "concurrent_violations": concurrent.violations,
+                    "leveled_range_admissions": (
+                        concurrent.leveled_range_admissions
+                    ),
                     "interleavings_equivalent": interleaving_eq["equivalent"],
                 }
             )
@@ -116,6 +134,31 @@ def run_matrix(seeds: int, style: str, sched_seeds: int) -> dict:
                 f"interleaving-equivalence "
                 f"{'ok' if interleaving_eq['equivalent'] else 'FAILED'}"
             )
+        range_records = []
+        for seed in range(min(3, seeds)):
+            concurrent = concurrent_torture_seed(
+                workdir, seed, range_config, sched_seeds=interleavings
+            )
+            total_concurrent_crash_points += concurrent.crash_points
+            total_range_admissions += concurrent.leveled_range_admissions
+            violations.extend(concurrent.violations)
+            range_records.append(
+                {
+                    "seed": seed,
+                    "crash_points": concurrent.crash_points,
+                    "recoveries": concurrent.recoveries,
+                    "leveled_range_admissions": (
+                        concurrent.leveled_range_admissions
+                    ),
+                    "violations": concurrent.violations,
+                }
+            )
+            print(
+                f"range seed {seed:3d}: {concurrent.crash_points:4d} "
+                f"concurrent crash points, "
+                f"{concurrent.leveled_range_admissions} range admissions, "
+                f"{len(concurrent.violations)} violations"
+            )
     return {
         "bench": "torture",
         "compaction_style": style,
@@ -123,9 +166,11 @@ def run_matrix(seeds: int, style: str, sched_seeds: int) -> dict:
         "scheduler_seeds": sched_seeds,
         "total_crash_points": total_crash_points,
         "total_concurrent_crash_points": total_concurrent_crash_points,
+        "total_leveled_range_admissions": total_range_admissions,
         "elapsed_seconds": round(time.time() - started, 2),
         "violations": violations,
         "per_seed": records,
+        "range_sweep": range_records,
     }
 
 

@@ -1,13 +1,24 @@
 """Leveled/tiered compaction — merge runs downward, rebuilding filters.
 
-Policy (RocksDB leveled, simplified to whole-level granularity):
+Policy (RocksDB leveled, per-file granularity):
 
-* L0 reaching ``level0_file_num_compaction_trigger`` files merges all of L0
-  with all of L1 into fresh L1 files of at most ``sst_size_bytes``.
+* L0 reaching ``level0_file_num_compaction_trigger`` files merges all of
+  L0 (L0 files overlap arbitrarily) with the L1 runs intersecting L0's key
+  span — the *overlap closure* — into fresh L1 files of at most
+  ``sst_size_bytes``.
 * A level exceeding its size target (``max_bytes_for_level_base * ratio^i``)
-  merges wholesale into the next level.
+  merges down in bounded *windows*: up to ``max_compaction_input_files``
+  contiguous source runs (oldest window first) plus their overlap closure
+  at the target level, so one oversize level yields several independent
+  jobs with disjoint key-range footprints instead of one giant merge.
+* Candidates are ordered by a *debt score* — L0 run count over its
+  trigger (weighted to always dominate) before bytes-over-target ratio of
+  the deeper levels — not by fixed level order.
 * Tombstones survive until the output is the bottom-most populated level,
-  where they are dropped.
+  where they are dropped.  Level >= 1 runs are key-partitioned, so the
+  whole-level rule is exact for partial windows too: any older version of
+  a key in the window lives in the window itself, its closure, or a
+  deeper level.
 
 "During background compactions, a new filter instance is built for the
 merged content of the new SST, while the filter instances for the old SSTs
@@ -22,19 +33,27 @@ can interleave it safely with foreground work:
 
 ``plan(version) -> CompactionJob | None``
     Read of the tree shape plus the conflict table: walks the
-    trigger-satisfying merge candidates in priority order (L0 first, then
-    every oversize/overfull level) and returns the first whose inputs and
-    level pair are disjoint from every in-flight job — so with multiple
-    job slots, plan() hands out *overlappable* work instead of blocking
-    behind the top candidate.  ``forced_l0_job`` and
+    trigger-satisfying merge candidates in debt-score order (L0 debt
+    always first, then deeper levels by bytes-over-target ratio, windows
+    within a level oldest-first) and returns the first whose inputs and
+    key-range footprint are disjoint from every in-flight job — so with
+    multiple job slots, plan() hands out *overlappable* work instead of
+    blocking behind the top candidate.  ``forced_l0_job`` and
     ``full_compaction_job`` build the explicit-``compact()`` /
     ``force_full_compaction()`` variants regardless of triggers.
-``begin(job)`` / ``finish(job)``
+``begin(job, version_provider=None)`` / ``finish(job)``
     Conflict-table bracket around a job's lifetime.  ``begin`` re-checks
-    and registers atomically (raises on a lost race); ``finish`` always
-    runs, success or not.  The invariant the table enforces: no two
-    in-flight jobs share an input run, and no two leveled jobs touch the
-    same level.
+    and registers atomically (raises on a lost race), issues the job its
+    monotonic ``job_id``, and — when given a version provider — re-reads
+    the *current* version under the table lock to verify every planned
+    input run is still live and to re-derive ``drop_tombstones``, so a
+    job planned against a stale snapshot can never execute against
+    deleted runs or wrongly drop tombstones.  ``finish`` always runs,
+    success or not.  The invariants the table enforces: no two in-flight
+    jobs share an input run, and two leveled jobs may share a level only
+    when their key-range footprints are disjoint (tiered installs are
+    prepend/name-removal only, so disjoint-input tiered jobs may always
+    share a level).
 ``execute(job, scheduler=None, max_subcompactions=1) -> list[Run]``
     The expensive part — merge the input runs into fresh output SSTs.
     Touches no shared version state, so it runs unlocked on a worker.
@@ -59,6 +78,7 @@ jobs allocate file names concurrently; the conflict table has its own
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from dataclasses import dataclass
@@ -82,11 +102,20 @@ __all__ = ["Compactor", "CompactionJob"]
 class CompactionJob:
     """One planned merge: what goes in, where the output lands.
 
-    ``kind`` is one of ``leveled-l0`` (L0+L1 -> L1), ``leveled-level``
-    (Ln+Ln+1 -> Ln+1), ``tiered-l0`` / ``tiered-level`` (whole level ->
+    ``kind`` is one of ``leveled-l0`` (all of L0 + its L1 overlap closure
+    -> L1), ``leveled-level`` (a window of Ln runs + its Ln+1 overlap
+    closure -> Ln+1), ``tiered-l0`` / ``tiered-level`` (whole level ->
     one fresh group prepended at the target), or ``full`` (everything ->
     the bottom level).  ``inputs`` are recency-ordered, which is what
     makes the merging iterator's newest-wins shadowing correct.
+
+    ``range_low`` / ``range_high`` are the job's inclusive key-range
+    footprint — the span of every input run, which also bounds every
+    output key.  ``None`` means unbounded on that side (``full`` jobs,
+    hand-built jobs); the conflict table treats an unbounded side as
+    overlapping everything.  ``debt_score`` is the picker's priority
+    (diagnostics only); ``job_id`` is the monotonic conflict-table key
+    issued by :meth:`Compactor.begin`.
     """
 
     kind: str
@@ -94,6 +123,44 @@ class CompactionJob:
     output_level: int
     drop_tombstones: bool
     source_level: int = 0
+    range_low: bytes | None = None
+    range_high: bytes | None = None
+    debt_score: float = 0.0
+    job_id: int | None = None
+
+
+@dataclass(frozen=True)
+class _InflightJob:
+    """Conflict-table registration: what an in-flight job holds locked."""
+
+    kind: str
+    levels: frozenset[int]
+    names: frozenset[str]
+    range_low: bytes | None
+    range_high: bytes | None
+
+
+#: ``sst_<level>_<number>.sst`` — the number is allocation order, so the
+#: lowest number in a window is its age (oldest-first window tiebreak).
+_SST_NUMBER = re.compile(r"^sst_\d+_(\d+)\.sst$")
+
+
+def _file_number(name: str) -> int:
+    match = _SST_NUMBER.match(name)
+    return int(match.group(1)) if match else 0
+
+
+def _runs_span(runs: Iterable[Run]) -> tuple[bytes | None, bytes | None]:
+    """Inclusive key span covering every run, or (None, None) when empty."""
+    low: bytes | None = None
+    high: bytes | None = None
+    for run in runs:
+        meta = run.reader.meta
+        if low is None or meta.min_key < low:
+            low = meta.min_key
+        if high is None or meta.max_key > high:
+            high = meta.max_key
+    return low, high
 
 
 class Compactor:
@@ -117,12 +184,15 @@ class Compactor:
         self._counter_lock = threading.Lock()
         self._next_file_number = 1
         self._next_group_id = 1
-        # Conflict table: input-run names and {source, output} level pair
-        # of every in-flight job, keyed by job identity.  plan() consults
-        # it so concurrent jobs always work on disjoint inputs.
+        # Conflict table: input-run names, {source, output} level pair,
+        # and key-range footprint of every in-flight job, keyed by the
+        # monotonic job_id issued at begin() (never by id(job): a dropped
+        # job object's id can be recycled by a new allocation, aliasing
+        # entries).  plan() consults it so concurrent jobs always work on
+        # disjoint inputs.
         self._inflight_lock = threading.Lock()
-        self._inflight_inputs: dict[int, frozenset[str]] = {}
-        self._inflight_outputs: dict[int, tuple[str, frozenset[int]]] = {}
+        self._inflight: dict[int, _InflightJob] = {}
+        self._next_job_id = 1
         # The auto-tuner can swap the factory between compactions (§2.4);
         # resolve it lazily at each compaction.
         self._filter_factory_provider = filter_factory_provider or (
@@ -155,70 +225,182 @@ class Compactor:
                 return job
         return None
 
+    #: Weight making any triggered L0 candidate outrank any size-triggered
+    #: deeper level: L0 debt stalls writers (the stop trigger watches the
+    #: L0 run count), bytes-over-target only costs read amplification.
+    _L0_DEBT_WEIGHT = 1_000_000.0
+
     def _candidates(self, version: Version) -> Iterable[CompactionJob]:
-        """Trigger-satisfying merges in priority order (L0 debt first)."""
-        if (
-            len(version.level0)
-            >= self._options.level0_file_num_compaction_trigger
-        ):
+        """Trigger-satisfying merges, highest debt score first.
+
+        L0's score is its run count over the trigger, weighted to dominate
+        every size-triggered level; a deeper level scores its
+        bytes-over-target ratio (ties broken shallowest-first).  Each
+        oversize leveled level contributes one job per
+        ``max_compaction_input_files``-wide source window (oldest window
+        first), so the planner can hand out several disjoint jobs inside
+        one level pair.
+        """
+        scored: list[tuple[float, int, list[CompactionJob]]] = []
+        trigger = self._options.level0_file_num_compaction_trigger
+        if len(version.level0) >= trigger:
             job = self.forced_l0_job(version)
             if job is not None:
-                yield job
+                job.debt_score = (
+                    self._L0_DEBT_WEIGHT * len(version.level0) / trigger
+                )
+                scored.append((job.debt_score, 0, [job]))
         if self._options.compaction_style == "tiered":
             ratio = self._options.level_size_ratio
             for level in range(1, self._options.num_levels - 1):
-                if version.num_groups(level) >= ratio:
-                    yield CompactionJob(
+                groups = version.num_groups(level)
+                if groups >= ratio:
+                    inputs = version.level_runs(level)
+                    low, high = _runs_span(inputs)
+                    job = CompactionJob(
                         kind="tiered-level",
-                        inputs=version.level_runs(level),
+                        inputs=inputs,
                         output_level=level + 1,
                         drop_tombstones=self._tiered_bottom(version, level + 1),
                         source_level=level,
+                        range_low=low,
+                        range_high=high,
+                        debt_score=groups / ratio,
                     )
-            return
-        for level in range(1, self._options.num_levels - 1):
-            target = self._options.level_target_bytes(level)
-            if version.level_size_bytes(level) > target:
-                inputs = version.level_runs(level) + version.level_runs(level + 1)
-                yield CompactionJob(
+                    scored.append((job.debt_score, level, [job]))
+        else:
+            for level in range(1, self._options.num_levels - 1):
+                target = self._options.level_target_bytes(level)
+                size = version.level_size_bytes(level)
+                if size > target:
+                    score = size / target
+                    jobs = self._leveled_window_jobs(version, level)
+                    for job in jobs:
+                        job.debt_score = score
+                    scored.append((score, level, jobs))
+        scored.sort(key=lambda entry: (-entry[0], entry[1]))
+        for _, _, jobs in scored:
+            yield from jobs
+
+    def _leveled_window_jobs(
+        self, version: Version, level: int
+    ) -> list[CompactionJob]:
+        """Per-file jobs draining one oversize leveled level.
+
+        The level's sorted runs are cut into contiguous windows of up to
+        ``max_compaction_input_files``; each window pulls its overlap
+        closure at the target level (every target run intersecting the
+        window's key span, nothing else) and carries the exact key-range
+        footprint of that input set.  Windows are ordered oldest-first
+        (lowest allocated file number), the RocksDB-style tiebreak that
+        drains long-lived debt before fresh spill.
+        """
+        source = version.level_runs(level)
+        if not source:
+            return []
+        width = max(1, self._options.max_compaction_input_files)
+        windows = [
+            source[start:start + width]
+            for start in range(0, len(source), width)
+        ]
+        windows.sort(
+            key=lambda window: min(_file_number(run.name) for run in window)
+        )
+        drop = version.max_populated_level() <= level + 1
+        jobs = []
+        for window in windows:
+            span_low, span_high = _runs_span(window)
+            closure = version.overlap_closure(level + 1, span_low, span_high)
+            inputs = window + closure
+            low, high = _runs_span(inputs)
+            jobs.append(
+                CompactionJob(
                     kind="leveled-level",
                     inputs=inputs,
                     output_level=level + 1,
-                    drop_tombstones=version.max_populated_level() <= level + 1,
+                    drop_tombstones=drop,
                     source_level=level,
+                    range_low=low,
+                    range_high=high,
                 )
+            )
+        return jobs
 
-    #: Kinds whose install rewrites a whole level (non-overlap invariant):
-    #: they must not share a level with another in-flight leveled job.
-    #: Tiered installs are prepend/name-removal only, so disjoint-input
-    #: tiered jobs may share a level safely.
+    #: Kinds whose install rewrites part of a level under the non-overlap
+    #: invariant: they may share a level with another in-flight leveled
+    #: job only when the two key-range footprints are disjoint.  Tiered
+    #: installs are prepend/name-removal only, so disjoint-input tiered
+    #: jobs may share a level unconditionally; mixed leveled/tiered level
+    #: sharing stays forbidden (``full`` has an unbounded footprint, so
+    #: the range check conflicts it with everything on its levels).
     _LEVELED_KINDS = frozenset({"leveled-l0", "leveled-level", "full"})
 
     def conflicts(self, job: CompactionJob) -> bool:
-        """Whether ``job`` overlaps any in-flight job (inputs or levels)."""
+        """Whether ``job`` overlaps any in-flight job (inputs or ranges)."""
         names = frozenset(run.name for run in job.inputs)
         with self._inflight_lock:
             return self._conflicts_locked(job, names)
 
+    @staticmethod
+    def _ranges_overlap(
+        a_low: bytes | None,
+        a_high: bytes | None,
+        b_low: bytes | None,
+        b_high: bytes | None,
+    ) -> bool:
+        """Inclusive key-range intersection; ``None`` = unbounded side."""
+        if a_low is not None and b_high is not None and b_high < a_low:
+            return False
+        if b_low is not None and a_high is not None and a_high < b_low:
+            return False
+        return True
+
     def _conflicts_locked(self, job: CompactionJob, names: frozenset[str]) -> bool:
         job_levels = {job.source_level, job.output_level}
         strict = job.kind in self._LEVELED_KINDS
-        for job_id, other_names in self._inflight_inputs.items():
-            if names & other_names:
+        for entry in self._inflight.values():
+            if names & entry.names:
                 return True
-            other_kind, other_levels = self._inflight_outputs[job_id]
-            if (strict or other_kind in self._LEVELED_KINDS) and (
-                job_levels & other_levels
+            if (strict or entry.kind in self._LEVELED_KINDS) and (
+                job_levels & entry.levels
             ):
+                # Two leveled jobs with disjoint footprints may share a
+                # level: outputs land inside the footprint, name-based
+                # removal plus union-merge installs never touch the other
+                # job's range, and the non-overlap invariant holds.
+                if (
+                    strict
+                    and entry.kind in self._LEVELED_KINDS
+                    and not self._ranges_overlap(
+                        job.range_low,
+                        job.range_high,
+                        entry.range_low,
+                        entry.range_high,
+                    )
+                ):
+                    continue
                 return True
         return False
 
-    def begin(self, job: CompactionJob) -> None:
+    def begin(
+        self,
+        job: CompactionJob,
+        version_provider: Callable[[], Version] | None = None,
+    ) -> None:
         """Atomically re-check conflicts and register ``job`` as in flight.
 
         Raises :class:`StoreError` if the job lost a race to a
         conflicting registration between plan() and here — the caller
         simply drops the stale job and re-plans.
+
+        With ``version_provider``, the *current* version is re-read under
+        the table lock and the job is re-validated against it: every
+        input run must still be live (an install may have retired runs
+        between plan() and dispatch), and ``drop_tombstones`` is
+        re-derived from the current shape rather than trusted from plan
+        time.  Any job the table admits then keeps its inputs live until
+        it finishes — another job removing them would share inputs and be
+        refused — so validating here closes the plan/dispatch race.
         """
         names = frozenset(run.name for run in job.inputs)
         with self._inflight_lock:
@@ -227,42 +409,96 @@ class Compactor:
                     f"compaction job {job.kind!r} conflicts with an "
                     "in-flight job"
                 )
-            self._inflight_inputs[id(job)] = names
-            self._inflight_outputs[id(job)] = (
-                job.kind,
-                frozenset({job.source_level, job.output_level}),
+            if version_provider is not None:
+                version = version_provider()
+                live = {
+                    run.name for run in version.all_runs_newest_first()
+                }
+                missing = names - live
+                if missing:
+                    self._count(stale_jobs_rejected=1)
+                    raise StoreError(
+                        f"compaction job {job.kind!r} inputs retired by a "
+                        f"concurrent install: {sorted(missing)}"
+                    )
+                job.drop_tombstones = self._derive_drop_tombstones(
+                    job, version
+                )
+            entry = _InflightJob(
+                kind=job.kind,
+                levels=frozenset({job.source_level, job.output_level}),
+                names=names,
+                range_low=job.range_low,
+                range_high=job.range_high,
             )
+            if job.kind in self._LEVELED_KINDS and any(
+                other.kind in self._LEVELED_KINDS
+                and (entry.levels & other.levels)
+                for other in self._inflight.values()
+            ):
+                self._count(leveled_range_admissions=1)
+            job.job_id = self._next_job_id
+            self._next_job_id += 1
+            self._inflight[job.job_id] = entry
+
+    def _count(self, **deltas: int) -> None:
+        """Charge compactor counters when a stats sink is wired up."""
+        stats = getattr(self._env, "stats", None)
+        if stats is not None:
+            stats.add(**deltas)
+
+    def _derive_drop_tombstones(
+        self, job: CompactionJob, version: Version
+    ) -> bool:
+        """Whether ``job`` may drop tombstones, judged on ``version``."""
+        if job.kind == "full":
+            return True
+        if job.kind == "tiered-l0":
+            return self._tiered_bottom(version, 1)
+        if job.kind == "tiered-level":
+            return self._tiered_bottom(version, job.output_level)
+        return version.max_populated_level() <= job.output_level
 
     def finish(self, job: CompactionJob) -> None:
         """Drop ``job`` from the conflict table (idempotent)."""
+        if job.job_id is None:
+            return
         with self._inflight_lock:
-            self._inflight_inputs.pop(id(job), None)
-            self._inflight_outputs.pop(id(job), None)
+            self._inflight.pop(job.job_id, None)
 
     def inflight_jobs(self) -> int:
         """Number of registered in-flight compaction jobs."""
         with self._inflight_lock:
-            return len(self._inflight_inputs)
+            return len(self._inflight)
 
     def forced_l0_job(self, version: Version) -> CompactionJob | None:
         """An L0 merge regardless of the trigger (explicit ``compact()``)."""
         if not version.level0:
             return None
         if self._options.compaction_style == "tiered":
+            inputs = version.level_runs(0)
+            low, high = _runs_span(inputs)
             return CompactionJob(
                 kind="tiered-l0",
-                inputs=version.level_runs(0),
+                inputs=inputs,
                 output_level=1,
                 drop_tombstones=self._tiered_bottom(version, 1),
                 source_level=0,
+                range_low=low,
+                range_high=high,
             )
-        inputs = version.level_runs(0) + version.level_runs(1)
+        l0 = version.level_runs(0)
+        span_low, span_high = _runs_span(l0)
+        inputs = l0 + version.overlap_closure(1, span_low, span_high)
+        low, high = _runs_span(inputs)
         return CompactionJob(
             kind="leveled-l0",
             inputs=inputs,
             output_level=1,
             drop_tombstones=version.max_populated_level() <= 1,
             source_level=0,
+            range_low=low,
+            range_high=high,
         )
 
     def full_compaction_job(self, version: Version) -> CompactionJob | None:

@@ -683,7 +683,9 @@ class DB:
                     if cjob is None:
                         return
                     try:
-                        self._compactor.begin(cjob)
+                        self._compactor.begin(
+                            cjob, lambda: self._super.version
+                        )
                     except StoreError:
                         return  # lost a plan/begin race; a finishing job re-plans
                     kind = "compaction"
@@ -749,7 +751,7 @@ class DB:
         degraded the store.
         """
         try:
-            self._compactor.begin(job)
+            self._compactor.begin(job, lambda: self._super.version)
         except StoreError:
             return False
         try:

@@ -160,6 +160,13 @@ class DBOptions:
     #: ``max(1, max_background_jobs)``; 1 disables splitting.
     max_subcompactions: int = 0
 
+    #: Maximum source-level runs per leveled compaction window (RocksDB's
+    #: per-file picking).  An oversize level is drained in windows of this
+    #: many contiguous runs (plus their target-level overlap closure), so
+    #: several disjoint jobs in the same level pair can run concurrently
+    #: instead of one whole-level merge.
+    max_compaction_input_files: int = 4
+
     #: Scheduler constructor ``(options) -> scheduler`` overriding the
     #: default choice (None = InlineScheduler for 0 jobs, ThreadPoolScheduler
     #: otherwise).  The torture harness injects DeterministicScheduler here.
@@ -198,6 +205,10 @@ class DBOptions:
             raise InvalidOptionsError("env_factory must be callable or None")
         if self.max_background_jobs < 0:
             raise InvalidOptionsError("max_background_jobs must be >= 0")
+        if self.max_compaction_input_files < 1:
+            raise InvalidOptionsError(
+                "max_compaction_input_files must be >= 1"
+            )
         if self.max_immutable_memtables < 1:
             raise InvalidOptionsError("max_immutable_memtables must be >= 1")
         if self.level0_slowdown_writes_trigger < 1:

@@ -93,6 +93,11 @@ class PerfStats:
     subcompactions: int = 0       # partitioned key-range slices executed
     jobs_overlapped: int = 0      # job dispatches that joined a live job
     max_jobs_in_flight: int = 0   # high-water mark of concurrent jobs
+    leveled_range_admissions: int = 0  # leveled jobs admitted into a level
+                                       # pair already holding a leveled job
+                                       # (disjoint key ranges)
+    stale_jobs_rejected: int = 0  # begin() refusals: planned inputs retired
+                                  # by an install before dispatch
 
     def __post_init__(self) -> None:
         # Not a dataclass field: ``fields(self)`` must keep iterating only

@@ -79,6 +79,11 @@ class TortureConfig:
     #: yields — overlap configs keep this at the floor and grow
     #: ``value_repeat`` until nearly every put seals.
     memtable_size_bytes: int = 1024
+    #: Source-run window width for leveled compaction (the DBOptions
+    #: default).  Overlap configs drop it to 1 so an oversize level yields
+    #: several single-run jobs with disjoint footprints — the shape that
+    #: exercises two leveled compactions in flight in one level pair.
+    max_compaction_input_files: int = 4
 
 
 def torture_options(
@@ -104,6 +109,7 @@ def torture_options(
         level0_file_num_compaction_trigger=2,
         max_bytes_for_level_base=8192,
         compaction_style=config.compaction_style,
+        max_compaction_input_files=config.max_compaction_input_files,
         filter_factory=factory,
         io_retry_attempts=config.io_retry_attempts,
         env_factory=env_factory,
@@ -213,9 +219,12 @@ class CrashPointResult:
     acked_ops: int
     violations: list[str] = field(default_factory=list)
     #: Maintenance overlap observed before the cut (concurrent runs only):
-    #: dispatches that joined a live job, and the in-flight high-water mark.
+    #: dispatches that joined a live job, the in-flight high-water mark,
+    #: and leveled jobs admitted into an already-busy level pair on the
+    #: strength of a disjoint key-range footprint.
     jobs_overlapped: int = 0
     max_jobs_in_flight: int = 0
+    leveled_range_admissions: int = 0
 
 
 @dataclass
@@ -227,9 +236,11 @@ class SeedReport:
     recoveries: int
     violations: list[str] = field(default_factory=list)
     #: Aggregated over the sweep (concurrent runs only): crash points whose
-    #: run had overlapping jobs, and the highest in-flight count seen.
+    #: run had overlapping jobs, the highest in-flight count seen, and the
+    #: total range-disjoint same-level-pair leveled admissions.
     overlapped_crash_points: int = 0
     max_jobs_in_flight: int = 0
+    leveled_range_admissions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -547,6 +558,7 @@ def run_concurrent_crash_point(
         acked_ops=acked,
         jobs_overlapped=db.stats.jobs_overlapped,
         max_jobs_in_flight=db.stats.max_jobs_in_flight,
+        leveled_range_admissions=db.stats.leveled_range_admissions,
     )
     if result.crashed:
         env.crash()
@@ -573,6 +585,7 @@ def concurrent_torture_seed(
             report.max_jobs_in_flight = max(
                 report.max_jobs_in_flight, result.max_jobs_in_flight
             )
+            report.leveled_range_admissions += result.leveled_range_admissions
             if result.jobs_overlapped:
                 report.overlapped_crash_points += 1
             if not result.crashed:
@@ -624,6 +637,7 @@ def schedule_equivalence(
             "ranges": ranges,
             "jobs_overlapped": db.stats.jobs_overlapped,
             "max_jobs_in_flight": db.stats.max_jobs_in_flight,
+            "leveled_range_admissions": db.stats.leveled_range_admissions,
         }
 
     outcomes = {"inline": run("inline", torture_options(config))}
@@ -651,5 +665,8 @@ def schedule_equivalence(
         "jobs_overlapped": sum(o["jobs_overlapped"] for o in concurrent),
         "max_jobs_in_flight": max(
             (o["max_jobs_in_flight"] for o in concurrent), default=0
+        ),
+        "leveled_range_admissions": sum(
+            o["leveled_range_admissions"] for o in concurrent
         ),
     }

@@ -146,6 +146,37 @@ class Version:
         """Total file bytes at ``level``."""
         return sum(run.file_size for run in self.level_runs(level))
 
+    def level_span(self, level: int) -> tuple[bytes | None, bytes | None]:
+        """Inclusive key span covered by ``level``; (None, None) when empty."""
+        runs = self.level_runs(level)
+        if not runs:
+            return None, None
+        low = min(run.reader.meta.min_key for run in runs)
+        high = max(run.reader.meta.max_key for run in runs)
+        return low, high
+
+    def overlap_closure(
+        self, level: int, low: bytes | None, high: bytes | None
+    ) -> list[Run]:
+        """Runs at ``level`` intersecting ``[low, high]`` (inclusive).
+
+        The compaction-input closure: every target-level run a merge over
+        ``[low, high]`` must rewrite, and nothing else.  ``None`` bounds
+        mean unbounded on that side.  For levels >= 1 (sorted,
+        non-overlapping) the result is a contiguous block of the level's
+        run list, which is what makes partial-level installs safe: runs
+        outside the closure cannot intersect the merge's key footprint.
+        """
+        selected = []
+        for run in self.level_runs(level):
+            meta = run.reader.meta
+            if low is not None and meta.max_key < low:
+                continue
+            if high is not None and meta.min_key > high:
+                continue
+            selected.append(run)
+        return selected
+
     def max_populated_level(self) -> int:
         """Deepest level holding any file (0 when only L0/nothing)."""
         populated = [lvl for lvl, runs in self.levels.items() if runs]

@@ -451,7 +451,7 @@ class TestHealthSurface:
 # ----------------------------------------------------------------------
 # Compactor conflict table
 # ----------------------------------------------------------------------
-def _fake_job(kind, names, source, output):
+def _fake_job(kind, names, source, output, low=None, high=None):
     from types import SimpleNamespace
 
     return CompactionJob(
@@ -460,6 +460,8 @@ def _fake_job(kind, names, source, output):
         output_level=output,
         drop_tombstones=False,
         source_level=source,
+        range_low=low,
+        range_high=high,
     )
 
 
@@ -483,17 +485,67 @@ class TestConflictTable:
         compactor.begin(overlapping)
         assert compactor.inflight_jobs() == 1
 
-    def test_leveled_jobs_never_share_a_level(self):
+    def test_unbounded_leveled_jobs_never_share_a_level(self):
         compactor = _bare_compactor()
         compactor.begin(_fake_job("leveled-level", ["000001.sst"], 1, 2))
-        # Disjoint inputs but touching L2: leveled installs rewrite the
-        # whole level, so this must be refused.
+        # Disjoint inputs but touching L2 with no range footprint: an
+        # unbounded range overlaps everything, so this must be refused.
         blocked = _fake_job("leveled-level", ["000009.sst"], 2, 3)
         assert compactor.conflicts(blocked)
         disjoint = _fake_job("leveled-level", ["000009.sst"], 3, 4)
         assert not compactor.conflicts(disjoint)
         compactor.begin(disjoint)
         assert compactor.inflight_jobs() == 2
+
+    def test_disjoint_ranges_admit_leveled_jobs_in_one_level_pair(self):
+        compactor = _bare_compactor()
+        compactor.begin(
+            _fake_job(
+                "leveled-level", ["000001.sst"], 1, 2, low=b"aa", high=b"ff"
+            )
+        )
+        # Same L1->L2 pair, disjoint key footprint: admissible.
+        disjoint = _fake_job(
+            "leveled-level", ["000002.sst"], 1, 2, low=b"gg", high=b"pp"
+        )
+        assert not compactor.conflicts(disjoint)
+        compactor.begin(disjoint)
+        assert compactor.inflight_jobs() == 2
+        # Touching either footprint (inclusive bounds) conflicts...
+        overlapping = _fake_job(
+            "leveled-level", ["000003.sst"], 1, 2, low=b"ff", high=b"gg"
+        )
+        assert compactor.conflicts(overlapping)
+        # ...as does an unbounded job on the pair, and a full compaction.
+        assert compactor.conflicts(
+            _fake_job("leveled-level", ["000004.sst"], 1, 2)
+        )
+        assert compactor.conflicts(
+            _fake_job("full", ["000005.sst"], 0, 2)
+        )
+        # A third disjoint window still fits.
+        compactor.begin(
+            _fake_job(
+                "leveled-level", ["000006.sst"], 1, 2, low=b"qq", high=b"zz"
+            )
+        )
+        assert compactor.inflight_jobs() == 3
+
+    def test_ranged_leveled_vs_tiered_on_shared_level_conflicts(self):
+        compactor = _bare_compactor()
+        compactor.begin(
+            _fake_job(
+                "leveled-level", ["000001.sst"], 1, 2, low=b"aa", high=b"bb"
+            )
+        )
+        # Tiered jobs carry ranges too, but mixed styles on one level are
+        # never admitted: a tiered prepend would break the leveled
+        # install's non-overlap reasoning.
+        assert compactor.conflicts(
+            _fake_job(
+                "tiered-level", ["000002.sst"], 2, 3, low=b"yy", high=b"zz"
+            )
+        )
 
     def test_tiered_jobs_may_share_a_level(self):
         compactor = _bare_compactor()
@@ -545,3 +597,38 @@ class TestJobOverlap:
         answers = {key: db.get(key) for key in range(8)}
         db.close()
         assert all(value == b"x" * 960 for value in answers.values())
+
+    def test_two_leveled_jobs_in_flight_in_one_level_pair(self, tmp_path):
+        """Per-file picking admits disjoint leveled jobs into one pair.
+
+        Single-run windows (``max_compaction_input_files=1``) over a
+        scattered key space produce several L1->L2 candidates with
+        disjoint footprints; with two job slots the conflict table must
+        admit a second one while the first is still in flight —
+        ``leveled_range_admissions`` counts exactly those admissions.
+        The deterministic scheduler makes the interleaving replayable.
+        """
+        values = {}
+        db = DB(
+            str(tmp_path / "db"),
+            _options(
+                sst_size_bytes=2048,
+                max_bytes_for_level_base=4096,
+                max_background_jobs=2,
+                max_compaction_input_files=1,
+                scheduler_factory=lambda _opts: DeterministicScheduler(seed=0),
+            ),
+        )
+        for i in range(400):
+            key = (i * 7919) % 4096  # coprime stride scatters the space
+            values[key] = (b"r%d" % i).ljust(120, b"x")
+            db.put(key, values[key])
+        db.wait_idle()
+        assert db.stats.max_jobs_in_flight >= 2
+        assert db.stats.leveled_range_admissions > 0
+        # Nothing lost under same-pair parallelism: last write per key wins.
+        for key, value in values.items():
+            assert db.get(key) == value
+        report = db.verify()
+        assert report.ok
+        db.close()

@@ -25,6 +25,17 @@ _SMALL = TortureConfig(num_ops=16, key_space=48)
 _OVERLAP = TortureConfig(
     num_ops=20, key_space=48, value_repeat=96, put_bias=0.9
 )
+# Wider key space + single-run compaction windows: an oversize level
+# splinters into several leveled jobs with disjoint key footprints, so the
+# conflict table gets to admit two leveled compactions into the *same*
+# level pair concurrently (counted by ``leveled_range_admissions``).
+_RANGE = TortureConfig(
+    num_ops=32,
+    key_space=512,
+    value_repeat=96,
+    put_bias=0.95,
+    max_compaction_input_files=1,
+)
 
 
 class TestConcurrentCrashSweep:
@@ -62,6 +73,22 @@ class TestConcurrentCrashSweep:
         assert report.overlapped_crash_points > 0
         assert report.ok, "\n".join(report.violations)
 
+    def test_crash_points_land_mid_range_admission(self, tmp_path):
+        """Power cuts during same-level-pair leveled parallelism recover.
+
+        The sweep must witness range-disjoint admissions — cuts landing
+        between one window job's install and its sibling's mean the
+        union-merge install path and zombie GC run under partial-level
+        concurrency, exactly the shape per-file picking introduced.
+        """
+        report = concurrent_torture_seed(
+            str(tmp_path), 7, _RANGE, sched_seeds=(0,)
+        )
+        assert report.crash_points > 0
+        assert report.max_jobs_in_flight >= 2
+        assert report.leveled_range_admissions > 0
+        assert report.ok, "\n".join(report.violations)
+
     def test_crash_point_past_schedule_never_fires(self, tmp_path):
         result = run_concurrent_crash_point(
             str(tmp_path), 3, 0, 1_000_000, _SMALL
@@ -88,3 +115,18 @@ class TestScheduleEquivalence:
         assert outcome["equivalent"], outcome["mismatches"]
         assert outcome["jobs_overlapped"] > 0
         assert outcome["max_jobs_in_flight"] >= 2
+
+    def test_same_level_pair_parallelism_answers_identically(self, tmp_path):
+        """Two leveled jobs in one level pair never change the answers.
+
+        The sweep must actually witness a range-disjoint admission
+        (``leveled_range_admissions > 0``) — otherwise the conflict table
+        quietly serialized everything and this test degenerates into the
+        plain overlap check.
+        """
+        outcome = schedule_equivalence(
+            str(tmp_path), 7, _RANGE, sched_seeds=(0, 1)
+        )
+        assert outcome["equivalent"], outcome["mismatches"]
+        assert outcome["max_jobs_in_flight"] >= 2
+        assert outcome["leveled_range_admissions"] > 0

@@ -87,8 +87,10 @@ RULES: dict[str, dict[str, Rule]] = {
         "_next_group_id": _rule(("_counter_lock",), ("__init__",)),
         # Conflict table: registered/dropped under _inflight_lock only;
         # ``_conflicts_locked`` carries the caller-holds-it convention.
-        "_inflight_inputs": _rule(("_inflight_lock",), ("__init__",)),
-        "_inflight_outputs": _rule(("_inflight_lock",), ("__init__",)),
+        # The monotonic job-id counter lives under the same lock so a
+        # begin() issues the id and registers the entry atomically.
+        "_inflight": _rule(("_inflight_lock",), ("__init__",)),
+        "_next_job_id": _rule(("_inflight_lock",), ("__init__",)),
     },
 }
 
