@@ -1,0 +1,401 @@
+"""Mixed YCSB-style traffic: sharded batch front-end vs. unbatched loop.
+
+Drives identical seeded per-client op streams (point reads on present and
+absent keys, 32-key batch reads, short scans, updates) from N client
+threads through three configurations holding the same data:
+
+* ``direct-db-loop`` — one ``DB``, every client calls the scalar read
+  path directly with no front-end at all; a batch-read op degenerates to
+  a per-key ``get`` loop (the pre-serving way an application would issue
+  it); reference point for the raw store;
+* ``single-shard-unbatched`` — the serving front-end with its features
+  ablated: one shard, coalescing window 0, ``max_batch_requests=1``, and
+  batch-read ops issued as a per-key ``get`` loop.  This is the
+  like-for-like baseline for the acceptance speedup (same architecture,
+  batching + sharding off);
+* ``sharded-batched`` — a :class:`~repro.lsm.serving.ShardedServer`
+  (key-range shards, per-shard worker threads) whose front-end coalesces
+  concurrent point lookups arriving within the coalescing window into
+  one ``DB.multi_get`` per shard, and splits scans at shard boundaries.
+
+Per configuration: aggregate requests/second and the client-observed
+per-op latency distribution (p50/p90/p99).  The serving run also reports
+the coalescing observables (batches, coalesced batches, keys per batch,
+queue-depth high-water) and the shard DBs' ``multi_point_queries`` so
+the CI smoke check can assert batching actually fired.  Final states are
+cross-checked byte-for-byte between the two configurations.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --check
+
+Writes ``BENCH_serving.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.factories import make_factory  # noqa: E402
+from repro.lsm.db import DB  # noqa: E402
+from repro.lsm.options import DBOptions  # noqa: E402
+from repro.lsm.serving import ServingOptions, ShardedServer  # noqa: E402
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+KEY_BITS = 24
+BATCH_READ_KEYS = 32
+SCAN_SPAN_KEYS = 24
+
+
+def _db_options() -> DBOptions:
+    return DBOptions(
+        key_bits=KEY_BITS,
+        memtable_size_bytes=64 << 10,
+        sst_size_bytes=128 << 10,
+        block_size_bytes=2048,
+        max_bytes_for_level_base=512 << 10,
+        filter_factory=make_factory("rosetta", KEY_BITS, 18, max_range=64),
+    )
+
+
+def _make_ops(
+    clients: int,
+    ops_per_client: int,
+    present: list[int],
+    absent: list[int],
+    seed: int,
+) -> list[list[tuple]]:
+    """Identical seeded op streams for both configurations.
+
+    Update keys are sliced per client so the final store state is
+    deterministic regardless of cross-client interleaving.
+    """
+    domain = 1 << KEY_BITS
+    span = (domain * SCAN_SPAN_KEYS) // max(1, len(present))
+    streams: list[list[tuple]] = []
+    slice_width = len(present) // max(1, clients)
+    for client in range(clients):
+        rng = random.Random(seed * 7919 + client)
+        own = present[client * slice_width : (client + 1) * slice_width]
+        ops: list[tuple] = []
+        for _ in range(ops_per_client):
+            roll = rng.random()
+            if roll < 0.40:
+                pool = present if rng.random() < 0.75 else absent
+                ops.append(("read", rng.choice(pool)))
+            elif roll < 0.82:
+                keys = [
+                    rng.choice(present if rng.random() < 0.75 else absent)
+                    for _ in range(BATCH_READ_KEYS)
+                ]
+                ops.append(("batch-read", keys))
+            elif roll < 0.90:
+                low = rng.randrange(domain - span)
+                ops.append(("scan", low, low + span))
+            else:
+                key = rng.choice(own) if own else rng.randrange(domain)
+                ops.append(("update", key, b"upd-%d-%d" % (client, key)))
+        streams.append(ops)
+    return streams
+
+
+def _drive(execute, streams: list[list[tuple]]) -> dict:
+    """Run every client stream on its own thread; aggregate qps + tails."""
+    barrier = threading.Barrier(len(streams) + 1)
+    latencies: list[list[int]] = [[] for _ in streams]
+    errors: list[BaseException] = []
+
+    def client(index: int) -> None:
+        mine = latencies[index]
+        try:
+            barrier.wait()
+            for op in streams[index]:
+                before = time.perf_counter_ns()
+                execute(op)
+                mine.append(time.perf_counter_ns() - before)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(len(streams))
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter_ns()
+    for thread in threads:
+        thread.join()
+    elapsed_ns = time.perf_counter_ns() - started
+    if errors:
+        raise errors[0]
+    merged = sorted(ns for per_client in latencies for ns in per_client)
+    total_ops = len(merged)
+
+    def pct(fraction: float) -> int:
+        if not merged:
+            return 0
+        return merged[min(len(merged) - 1, int(fraction * len(merged)))]
+
+    return {
+        "ops": total_ops,
+        "elapsed_seconds": round(elapsed_ns / 1e9, 4),
+        "requests_per_second": round(total_ops / (elapsed_ns / 1e9), 1),
+        "op_latency_ns": {
+            "p50": pct(0.50),
+            "p90": pct(0.90),
+            "p99": pct(0.99),
+            "max": merged[-1] if merged else 0,
+        },
+    }
+
+
+def run_unbatched(
+    workdir: str, pairs: list[tuple[int, bytes]], streams
+) -> tuple[dict, list[tuple[int, bytes]]]:
+    db = DB(str(Path(workdir) / "single"), _db_options())
+    for key, value in pairs:
+        db.put(key, value)
+    db.flush()
+    db.compact()
+
+    def execute(op) -> None:
+        if op[0] == "read":
+            db.get(op[1])
+        elif op[0] == "batch-read":
+            for key in op[1]:  # the unbatched loop the front-end replaces
+                db.get(key)
+        elif op[0] == "scan":
+            db.range_query(op[1], op[2])
+        else:
+            db.put(op[1], op[2])
+
+    record = _drive(execute, streams)
+    record["label"] = "direct-db-loop"
+    final = db.range_query(0, (1 << KEY_BITS) - 1)
+    db.close()
+    return record, final
+
+
+def run_single_server(
+    workdir: str, pairs: list[tuple[int, bytes]], streams
+) -> tuple[dict, list[tuple[int, bytes]]]:
+    """The front-end with its features off: 1 shard, no coalescing."""
+    server = ShardedServer(
+        str(Path(workdir) / "single-server"),
+        _db_options(),
+        ServingOptions(
+            num_shards=1, coalescing_window_s=0.0, max_batch_requests=1
+        ),
+    )
+    server.put_batch(pairs)
+    server.flush()
+    server.compact()
+
+    def execute(op) -> None:
+        if op[0] == "read":
+            server.get(op[1])
+        elif op[0] == "batch-read":
+            for key in op[1]:  # the unbatched loop the front-end replaces
+                server.get(key)
+        elif op[0] == "scan":
+            server.range_query(op[1], op[2])
+        else:
+            server.put(op[1], op[2])
+
+    record = _drive(execute, streams)
+    record["label"] = "single-shard-unbatched"
+    final = server.range_query(0, (1 << KEY_BITS) - 1)
+    server.close()
+    return record, final
+
+
+def run_sharded(
+    workdir: str,
+    pairs: list[tuple[int, bytes]],
+    streams,
+    num_shards: int,
+    window_s: float,
+) -> tuple[dict, list[tuple[int, bytes]]]:
+    server = ShardedServer(
+        str(Path(workdir) / "sharded"),
+        _db_options(),
+        ServingOptions(
+            num_shards=num_shards, coalescing_window_s=window_s
+        ),
+    )
+    server.put_batch(pairs)
+    server.flush()
+    server.compact()
+
+    def execute(op) -> None:
+        if op[0] == "read":
+            server.get(op[1])
+        elif op[0] == "batch-read":
+            server.multi_get(op[1])
+        elif op[0] == "scan":
+            server.range_query(op[1], op[2])
+        else:
+            server.put(op[1], op[2])
+
+    record = _drive(execute, streams)
+    stats = server.stats()
+    totals = server.perf_totals()
+    record.update(
+        label="sharded-batched",
+        num_shards=num_shards,
+        coalescing_window_s=window_s,
+        batches=stats.batches,
+        coalesced_batches=stats.coalesced_batches,
+        coalesced_requests=stats.coalesced_requests,
+        batched_keys=stats.batched_keys,
+        keys_per_batch=round(stats.batched_keys / max(1, stats.batches), 2),
+        max_batch_requests=stats.max_batch_requests,
+        max_queue_depth=stats.max_queue_depth,
+        queue_waits=stats.queue_waits,
+        multi_point_queries=totals.multi_point_queries,
+        filter_batch_probes=totals.filter_batch_probes,
+    )
+    final = server.range_query(0, (1 << KEY_BITS) - 1)
+    server.close()
+    return record, final
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients", type=int, default=8,
+        help="client threads per configuration (default: 8)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=1500,
+        help="ops per client (default: 1500)",
+    )
+    parser.add_argument(
+        "--keys", type=int, default=16000,
+        help="preloaded key count (default: 16000)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=8,
+        help="serving shards (default: 8)",
+    )
+    parser.add_argument(
+        "--window-us", type=float, default=300.0,
+        help="coalescing window in microseconds (default: 300)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke run: 150 ops/client over 3000 keys",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless batched coalescing fired (and, in full runs, "
+        "the sharded front-end clears 2x the unbatched qps)",
+    )
+    parser.add_argument("--seed", type=int, default=0xA11CE)
+    args = parser.parse_args(argv)
+    ops_per_client = 150 if args.smoke else args.ops
+    num_keys = 3000 if args.smoke else args.keys
+
+    rng = random.Random(args.seed)
+    domain = 1 << KEY_BITS
+    present = sorted(rng.sample(range(domain), num_keys))
+    resident = set(present)
+    absent: list[int] = []
+    while len(absent) < num_keys // 4:
+        key = rng.randrange(domain)
+        if key not in resident:
+            absent.append(key)
+    pairs = [(key, b"serving-%d" % key) for key in present]
+    streams = _make_ops(
+        args.clients, ops_per_client, present, absent, args.seed
+    )
+
+    with tempfile.TemporaryDirectory(prefix="serving-") as workdir:
+        direct, final_direct = run_unbatched(workdir, pairs, streams)
+        single, final_single = run_single_server(workdir, pairs, streams)
+        sharded, final_sharded = run_sharded(
+            workdir, pairs, streams, args.shards, args.window_us / 1e6
+        )
+
+    answers_match = final_direct == final_sharded == final_single
+    speedup = round(
+        sharded["requests_per_second"]
+        / max(1e-9, single["requests_per_second"]),
+        2,
+    )
+    speedup_vs_direct = round(
+        sharded["requests_per_second"]
+        / max(1e-9, direct["requests_per_second"]),
+        2,
+    )
+    for record in (direct, single, sharded):
+        print(
+            f"{record['label']:22s}: "
+            f"{record['requests_per_second']:10.1f} req/s, "
+            f"p50 {record['op_latency_ns']['p50'] / 1e3:8.1f} us, "
+            f"p99 {record['op_latency_ns']['p99'] / 1e3:8.1f} us"
+        )
+    print(
+        f"speedup {speedup}x vs single-shard-unbatched "
+        f"({speedup_vs_direct}x vs direct-db-loop); "
+        f"{sharded['coalesced_batches']}/{sharded['batches']} batches "
+        f"coalesced, {sharded['keys_per_batch']} keys/batch "
+        f"(answers match: {answers_match})"
+    )
+
+    result = {
+        "bench": "serving",
+        "clients": args.clients,
+        "ops_per_client": ops_per_client,
+        "num_keys": num_keys,
+        "speedup": speedup,
+        "speedup_vs_direct_db": speedup_vs_direct,
+        "answers_match": answers_match,
+        "configs": [direct, single, sharded],
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"-> {RESULT_PATH.name}")
+
+    if not answers_match:
+        print("CHECK FAILED: final states diverged", file=sys.stderr)
+        return 1
+    if args.check:
+        if sharded["coalesced_batches"] == 0:
+            print(
+                "CHECK FAILED: batched coalescing never fired (no batch "
+                "served >= 2 concurrent point-bearing requests)",
+                file=sys.stderr,
+            )
+            return 1
+        if sharded["multi_point_queries"] == 0:
+            print(
+                "CHECK FAILED: no shard ever saw a batched multi_get",
+                file=sys.stderr,
+            )
+            return 1
+        if not args.smoke and speedup < 2.0:
+            print(
+                f"CHECK FAILED: sharded-batched speedup {speedup}x below "
+                f"the 2x acceptance floor",
+                file=sys.stderr,
+            )
+            return 1
+        print("check passed: coalescing fired through the batched path")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,13 @@ from repro.lsm.scheduler import (
     InlineScheduler,
     ThreadPoolScheduler,
 )
+from repro.lsm.serving import (
+    ServingHealth,
+    ServingOptions,
+    ServingStats,
+    ShardedServer,
+)
+from repro.lsm.shard import ShardRouter
 from repro.lsm.sst_dump import SstSummary, dump_sst, summarize_sst
 from repro.lsm.stats import PerfStats, Stopwatch
 from repro.lsm.verify import VerificationReport, verify_version
@@ -38,6 +45,11 @@ __all__ = [
     "PerfStats",
     "QueryContext",
     "RepairOutcome",
+    "ServingHealth",
+    "ServingOptions",
+    "ServingStats",
+    "ShardRouter",
+    "ShardedServer",
     "SstSummary",
     "StorageEnv",
     "Stopwatch",

@@ -1000,26 +1000,45 @@ class DB:
             )
 
     def health(self) -> HealthReport:
-        """The store's current fault state (always readable, never raises)."""
-        sv = self._super
-        return HealthReport(
-            mode="degraded" if self._background_error is not None else "healthy",
-            background_error=self._background_error,
-            degraded_filters=tuple(sorted(self._filter_dictionary.degraded)),
-            io_transient_errors=self.stats.io_transient_errors,
-            io_retries=self.stats.io_retries,
-            filters_degraded=self.stats.filters_degraded,
-            background_errors=self.stats.background_errors,
-            stall_state=self._stall_state,
-            pending_immutables=len(sv.immutables) if sv is not None else 0,
-            level0_runs=len(sv.version.level0) if sv is not None else 0,
-            write_slowdowns=self.stats.write_slowdowns,
-            write_stops=self.stats.write_stops,
-            write_stall_time_ns=self.stats.write_stall_time_ns,
-            write_stall_timeouts=self.stats.write_stall_timeouts,
-            workers=self.options.max_background_jobs,
-            jobs_in_flight=self._jobs_in_flight,
-        )
+        """The store's current fault state (always readable, never raises).
+
+        The report is *self-consistent*: the superversion is pinned and
+        the background-error / stall fields are read once under
+        ``_mutex`` — the lock every state transition (version install,
+        degraded-mode entry) happens under — so a concurrent superversion
+        swap can never produce, say, a ``healthy`` mode paired with a
+        stale ``level0_runs`` count or a ``degraded`` mode whose
+        ``background_error`` is ``None``.  Counters come from one
+        lock-protected ``PerfStats.snapshot()``.
+        """
+        with self._mutex:
+            sv = self._ref_super()
+            background_error = self._background_error
+            stall_state = self._stall_state
+        try:
+            with self._job_lock:
+                jobs_in_flight = self._jobs_in_flight
+            stats = self.stats.snapshot()
+            return HealthReport(
+                mode="degraded" if background_error is not None else "healthy",
+                background_error=background_error,
+                degraded_filters=self._filter_dictionary.degraded_snapshot(),
+                io_transient_errors=stats.io_transient_errors,
+                io_retries=stats.io_retries,
+                filters_degraded=stats.filters_degraded,
+                background_errors=stats.background_errors,
+                stall_state=stall_state,
+                pending_immutables=len(sv.immutables),
+                level0_runs=len(sv.version.level0),
+                write_slowdowns=stats.write_slowdowns,
+                write_stops=stats.write_stops,
+                write_stall_time_ns=stats.write_stall_time_ns,
+                write_stall_timeouts=stats.write_stall_timeouts,
+                workers=self.options.max_background_jobs,
+                jobs_in_flight=jobs_in_flight,
+            )
+        finally:
+            self._unref_super(sv)
 
     def resume(self) -> bool:
         """Leave degraded read-only mode and retry the pending maintenance.
@@ -1180,7 +1199,24 @@ class DB:
         return list(self.range_iter(low, high))
 
     def range_iter(self, low: int, high: int) -> Iterator[tuple[int, bytes]]:
-        """Iterator form of :meth:`range_query`."""
+        """Iterator form of :meth:`range_query` — genuinely streaming.
+
+        Entries are yielded as the underlying merge advances, so the
+        first result is available before the scan has read the rest of
+        the range (long scans no longer buffer the full result list).
+        The superversion pinned at call time stays pinned for the
+        generator's whole lifetime and is released in a ``finally`` that
+        runs on exhaustion, ``close()``, or garbage collection; filter
+        true/false-positive outcomes and ``last_query`` are recorded when
+        the generator terminates (partial consumption records what the
+        scan actually observed).
+
+        Validation is eager: a closed store or an inverted range raises
+        here, at call time — not on the first ``next()`` — because this
+        is a plain wrapper that returns the generator rather than a
+        generator function itself.  Filter probing is eager too (the
+        probes decide whether there is anything to stream at all).
+        """
         self._check_open()
         if low > high:
             raise FilterQueryError(f"invalid range: low={low} > high={high}")
@@ -1191,7 +1227,6 @@ class DB:
         context = QueryContext(kind="range", low=low, high=high)
         before = self.stats.snapshot()
 
-        results: list[tuple[int, bytes]] = []
         sv = self._ref_super()
         try:
             candidates = sv.version.runs_for_range(low_bytes, high_bytes)
@@ -1210,47 +1245,70 @@ class DB:
                 with Stopwatch(self.stats, "residual_seek_ns"):
                     pass
                 self._finish_context(context, before)
-                return
+                self._unref_super(sv)
+                return iter(())
+        except BaseException:
+            self._unref_super(sv)
+            raise
+        return self._range_stream(
+            sv, context, before, positive_runs, live_memtables,
+            low_bytes, high_bytes,
+        )
 
-            with Stopwatch(self.stats, "residual_seek_ns"):
-                contributed: dict[str, bool] = {
-                    run.name: False for run, _ in positive_runs
-                }
-                sources: list[tuple[int, Iterator]] = []
-                priority = 0
-                for memtable in live_memtables:
-                    sources.append(
-                        (priority, memtable.entries_from(low_bytes))
+    def _range_stream(
+        self,
+        sv: _SuperVersion,
+        context: QueryContext,
+        before: PerfStats,
+        positive_runs: list[tuple[Run, bytes]],
+        live_memtables: list[MemTable],
+        low_bytes: bytes,
+        high_bytes: bytes,
+    ) -> Iterator[tuple[int, bytes]]:
+        """Generator half of :meth:`range_iter` (validated, sv pinned)."""
+        contributed: dict[str, bool] = {
+            run.name: False for run, _ in positive_runs
+        }
+        results = 0
+        try:
+            sources: list[tuple[int, Iterator]] = []
+            priority = 0
+            for memtable in live_memtables:
+                sources.append((priority, memtable.entries_from(low_bytes)))
+                priority += 1
+            for offset, (run, seek_key) in enumerate(positive_runs):
+                sources.append(
+                    (
+                        priority + offset,
+                        self._tracking_iter(
+                            run, seek_key, high_bytes, contributed
+                        ),
                     )
-                    priority += 1
-                order = {
-                    run.name: i for i, (run, _) in enumerate(positive_runs)
-                }
-                for run, seek_key in positive_runs:
-                    sources.append(
-                        (
-                            priority + order[run.name],
-                            self._tracking_iter(
-                                run, seek_key, high_bytes, contributed
-                            ),
-                        )
-                    )
-                context.iterators_created = len(sources)
-                merged = MergingIterator(sources)
-                for key, value in live_entries(merged):
-                    if key > high_bytes:
-                        break
-                    results.append((self._decode_key(key), value))
-
+                )
+            context.iterators_created = len(sources)
+            merged = live_entries(MergingIterator(sources))
+            while True:
+                # Charge only the merge-advance time to residual_seek_ns,
+                # never the consumer's time between next() calls.
+                started = time.perf_counter_ns()
+                entry = next(merged, None)
+                self.stats.add(
+                    residual_seek_ns=time.perf_counter_ns() - started
+                )
+                if entry is None or entry[0] > high_bytes:
+                    break
+                results += 1
+                yield self._decode_key(entry[0]), entry[1]
+        finally:
+            # Runs on exhaustion, close(), GC, or a consumer exception:
+            # record what the scan observed, then release the pin.
             for run, _ in positive_runs:
                 truly = contributed[run.name]
                 self._record_filter_outcome(run, positive=True, truly=truly)
                 self.tracker.record_filter_outcome(True, truly)
-            context.results = len(results)
+            context.results = results
             self._finish_context(context, before)
-        finally:
             self._unref_super(sv)
-        yield from results
 
     def _finish_context(self, context: QueryContext, before: PerfStats) -> None:
         delta = self.stats.diff(before)

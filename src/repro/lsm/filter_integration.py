@@ -95,6 +95,16 @@ class FilterDictionary:
             self._filters.pop(name, None)
             self.degraded.discard(name)
 
+    def degraded_snapshot(self) -> tuple[str, ...]:
+        """Sorted consistent copy of the degraded-run set.
+
+        ``DB.health()`` reads the set while queries on other threads may
+        be degrading runs; iterating it bare would race the mutation
+        (``set changed size during iteration``).
+        """
+        with self._lock:
+            return tuple(sorted(self.degraded))
+
     def __len__(self) -> int:
         return len(self._filters)
 

@@ -1,0 +1,743 @@
+"""Sharded batch-serving front-end over N key-range `DB` shards.
+
+The paper positions Rosetta as the filter inside a *serving* key-value
+store; this module is the serving layer.  One logical store is
+partitioned by key range (:class:`~repro.lsm.shard.ShardRouter`) across
+``N`` in-process :class:`~repro.lsm.db.DB` shards, fronted by an async
+batch API that **coalesces** concurrent ``get`` / ``multi_get`` /
+``range_query`` calls into the store's existing batched read paths:
+
+* every shard owns a request queue and one worker thread;
+* point lookups submitted by any number of client threads within one
+  *coalescing window* are drained as a single batch and answered with
+  **one** :meth:`DB.multi_get` — which already dedups keys, sweeps the
+  memtables once, and probes every run's filter with one
+  ``may_contain_batch`` per run;
+* range queries split at shard boundaries
+  (:meth:`ShardRouter.split_range`), run on the shards they touch, and
+  reassemble in shard order (shards are contiguous, so concatenation is
+  the sorted merge);
+* :meth:`ShardedServer.range_iter` streams instead of queueing: it walks
+  the shards in key order through the genuinely-lazy :meth:`DB.range_iter`,
+  yielding each entry as the underlying merge advances.
+
+Filters are immutable once built and every read pins a refcounted
+superversion, so batched probes fan out across client and worker threads
+with zero locking in the read path — the only serialization points are
+the per-shard queue (a condition variable held for queue surgery only)
+and each shard's own write lock.
+
+Backpressure composes with the store's: a full request queue
+(``ServingOptions.max_queue_depth``) blocks submitters until the worker
+drains (counted in ``ServingStats.queue_waits``), and writes routed to a
+shard go through that shard's normal slowdown/stop triggers.
+
+Everything is observable: per-shard + aggregate
+:class:`ServingStats` counters (batches, coalescing, batch sizes,
+queue-depth high-water), and :meth:`ShardedServer.health` reports every
+shard's :class:`~repro.lsm.db.HealthReport` plus live queue depths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import ClosedStoreError, InvalidOptionsError
+from repro.lsm.db import DB, HealthReport
+from repro.lsm.options import DBOptions
+from repro.lsm.shard import ShardRouter
+from repro.lsm.stats import PerfStats
+
+__all__ = [
+    "ServingHealth",
+    "ServingOptions",
+    "ServingStats",
+    "ShardedServer",
+]
+
+
+@dataclass
+class ServingOptions:
+    """Tuning knobs for :class:`ShardedServer`."""
+
+    #: Number of key-range shards (each one independent ``DB``).
+    num_shards: int = 4
+
+    #: Explicit interior shard boundaries (``num_shards - 1`` strictly
+    #: increasing keys), or None for equal-width slices of the domain.
+    shard_boundaries: tuple[int, ...] | None = None
+
+    #: How long a shard worker lingers after the first queued request to
+    #: let concurrent callers join the batch.  0 disables coalescing
+    #: waits (the worker still batches whatever is already queued).
+    coalescing_window_s: float = 0.0002
+
+    #: Ceiling on point keys resolved by one batched ``multi_get``.
+    max_batch_keys: int = 512
+
+    #: Ceiling on requests drained into one batch.
+    max_batch_requests: int = 256
+
+    #: Queue-depth ceiling per shard; a submitter blocks (serving-side
+    #: backpressure) until the worker drains below it.
+    max_queue_depth: int = 4096
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidOptionsError` on inconsistent settings."""
+        if self.num_shards < 1:
+            raise InvalidOptionsError("num_shards must be >= 1")
+        if self.coalescing_window_s < 0:
+            raise InvalidOptionsError("coalescing_window_s must be >= 0")
+        if self.max_batch_keys < 1:
+            raise InvalidOptionsError("max_batch_keys must be >= 1")
+        if self.max_batch_requests < 1:
+            raise InvalidOptionsError("max_batch_requests must be >= 1")
+        if self.max_queue_depth < 1:
+            raise InvalidOptionsError("max_queue_depth must be >= 1")
+
+
+@dataclass
+class ServingStats:
+    """Front-end counters — one instance per shard plus the aggregate.
+
+    ``batches``/``coalesced_batches`` are the coalescing observables: a
+    batch is *coalesced* when it resolved point keys from two or more
+    distinct requests with one ``multi_get`` — the thing the CI smoke
+    check asserts actually happens under concurrent clients.
+    """
+
+    point_requests: int = 0      # get() calls routed to this shard
+    multi_requests: int = 0      # multi_get() sub-requests for this shard
+    range_requests: int = 0      # range pieces executed on this shard
+    stream_requests: int = 0     # range_iter pieces streamed off this shard
+    write_requests: int = 0      # put/delete routed to this shard
+    batches: int = 0             # worker dispatches that ran a multi_get
+    coalesced_batches: int = 0   # batches serving >= 2 point-bearing requests
+    coalesced_requests: int = 0  # requests resolved inside those batches
+    batched_keys: int = 0        # point keys resolved through multi_get
+    queue_waits: int = 0         # submits that blocked on max_queue_depth
+    max_batch_requests: int = 0  # high-water: requests in one batch
+    max_batch_keys: int = 0      # high-water: point keys in one batch
+    max_queue_depth: int = 0     # high-water: queued requests
+
+    _MAX_FIELDS = ("max_batch_requests", "max_batch_keys", "max_queue_depth")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_lock", threading.Lock())
+
+    def add(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def observe_max(self, name: str, value: int) -> None:
+        """Atomically raise a high-water-mark counter."""
+        with self._lock:
+            if value > getattr(self, name):
+                setattr(self, name, value)
+
+    def snapshot(self) -> "ServingStats":
+        """Consistent copy of the current counters."""
+        with self._lock:
+            return ServingStats(
+                **{f.name: getattr(self, f.name) for f in fields(self)}
+            )
+
+    @classmethod
+    def aggregate(cls, parts: Iterable["ServingStats"]) -> "ServingStats":
+        """Sum counters across shards (high-water fields take the max)."""
+        total = cls()
+        for part in parts:
+            snap = part.snapshot()
+            for f in fields(cls):
+                if f.name in cls._MAX_FIELDS:
+                    setattr(
+                        total, f.name,
+                        max(getattr(total, f.name), getattr(snap, f.name)),
+                    )
+                else:
+                    setattr(
+                        total, f.name,
+                        getattr(total, f.name) + getattr(snap, f.name),
+                    )
+        return total
+
+
+@dataclass(frozen=True)
+class ServingHealth:
+    """Aggregate + per-shard health (``ShardedServer.health()``).
+
+    ``mode`` is ``"degraded"`` as soon as any shard is degraded;
+    ``queue_depths`` are the live per-shard request-queue lengths (the
+    serving layer's own debt gauge, alongside each shard's
+    ``pending_immutables``/``level0_runs``).
+    """
+
+    mode: str
+    shards: tuple[HealthReport, ...]
+    queue_depths: tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every shard is fully healthy."""
+        return all(report.ok for report in self.shards)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        degraded = sum(1 for r in self.shards if r.mode != "healthy")
+        return (
+            f"mode={self.mode}; {len(self.shards)} shards "
+            f"({degraded} degraded); queues={list(self.queue_depths)}"
+        )
+
+
+class _ScatterSink:
+    """Gathers the per-shard pieces of one scattered request.
+
+    A request spanning ``k`` shards used to allocate a child ``Future``
+    plus a done-callback per shard; on the serving hot path that is pure
+    overhead (each ``set_result`` is a condition-variable dance).  The
+    sink replaces all of it with one lock, a countdown, and a single
+    master future: each shard worker deposits its piece at its position
+    and the last one to arrive combines and resolves.  The first shard
+    failure wins and resolves the master exceptionally; later pieces for
+    a failed request are dropped.
+    """
+
+    __slots__ = ("future", "_lock", "_parts", "_remaining", "_combine")
+
+    def __init__(
+        self, pieces: int, combine: Callable[[list], object]
+    ) -> None:
+        self.future: Future = Future()
+        self._lock = threading.Lock()
+        self._parts: list = [None] * pieces
+        self._remaining = pieces
+        self._combine = combine
+
+    def deliver(self, position: int, result: object) -> None:
+        with self._lock:
+            if self._remaining <= 0:
+                return  # already failed
+            self._parts[position] = result
+            self._remaining -= 1
+            if self._remaining:
+                return
+        try:
+            self.future.set_result(self._combine(self._parts))
+        except BaseException as exc:  # noqa: BLE001 - routed to caller
+            self.future.set_exception(exc)
+
+    def fail(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._remaining <= 0:
+                return
+            self._remaining = 0
+        self.future.set_exception(exc)
+
+
+class _Request:
+    """One queued unit of read work for a shard worker.
+
+    A request either owns its ``future`` outright or is one piece of a
+    scattered call, in which case it carries its :class:`_ScatterSink`
+    and position instead (no per-piece future is allocated).
+    """
+
+    __slots__ = ("kind", "keys", "low", "high", "future", "sink", "position")
+
+    def __init__(
+        self,
+        kind: str,
+        keys: list[int] | None = None,
+        low: int = 0,
+        high: int = 0,
+        sink: _ScatterSink | None = None,
+        position: int = 0,
+    ) -> None:
+        self.kind = kind  # "point" | "multi" | "range"
+        self.keys = keys if keys is not None else []
+        self.low = low
+        self.high = high
+        self.sink = sink
+        self.position = position
+        self.future: Future | None = Future() if sink is None else None
+
+    def resolve(self, result: object) -> None:
+        if self.sink is not None:
+            self.sink.deliver(self.position, result)
+        else:
+            self.future.set_result(result)
+
+    def fail(self, exc: BaseException) -> None:
+        if self.sink is not None:
+            self.sink.fail(exc)
+        elif not self.future.done():
+            self.future.set_exception(exc)
+
+
+class _Shard:
+    """One key-range shard: a ``DB``, a request queue, a worker thread.
+
+    The condition variable ``_cond`` guards only queue surgery and the
+    closed flag; all actual read work (``multi_get``/``range_query``)
+    runs outside it on the worker thread, against the DB's lock-free
+    superversion-pinned read path.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        db: DB,
+        options: ServingOptions,
+        stats: ServingStats,
+    ) -> None:
+        self.index = index
+        self.db = db
+        self.options = options
+        self.stats = stats
+        self._cond = threading.Condition()
+        self._queue: deque[_Request] = deque()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._serve_loop,
+            name=f"serving-shard-{index}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- client side ----------------------------------------------------
+    def submit(self, request: _Request) -> None:
+        """Queue a read; blocks while the queue is at its depth ceiling."""
+        with self._cond:
+            while (
+                len(self._queue) >= self.options.max_queue_depth
+                and not self._closed
+            ):
+                self.stats.add(queue_waits=1)
+                self._cond.wait(0.05)
+            if self._closed:
+                raise ClosedStoreError("serving layer is closed")
+            self._queue.append(request)
+            self.stats.observe_max("max_queue_depth", len(self._queue))
+            self._cond.notify_all()
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- worker side ----------------------------------------------------
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _next_batch(self) -> list[_Request] | None:
+        """Drain one batch, lingering up to the coalescing window.
+
+        Returns None only at shutdown with an empty queue; a non-empty
+        queue at shutdown is still drained so no future is left dangling.
+        """
+        opts = self.options
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if not self._queue:
+                return None  # closed and drained
+            if opts.coalescing_window_s > 0 and not self._closed:
+                deadline = time.monotonic() + opts.coalescing_window_s
+                while len(self._queue) < opts.max_batch_requests:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._cond.wait(remaining)
+            batch: list[_Request] = []
+            keys = 0
+            while self._queue and len(batch) < opts.max_batch_requests:
+                request = self._queue[0]
+                weight = len(request.keys)
+                if batch and keys + weight > opts.max_batch_keys:
+                    break
+                batch.append(self._queue.popleft())
+                keys += weight
+            self._cond.notify_all()  # wake submitters blocked on depth
+        return batch
+
+    def _execute(self, batch: list[_Request]) -> None:
+        """Resolve one drained batch against the shard's DB.
+
+        All point-bearing requests share one ``multi_get`` (the
+        coalescing payoff); range requests then run in arrival order.
+        """
+        point_requests = [r for r in batch if r.kind in ("point", "multi")]
+        point_keys = [key for r in point_requests for key in r.keys]
+        if point_keys:
+            self.stats.add(batches=1, batched_keys=len(point_keys))
+            self.stats.observe_max("max_batch_requests", len(batch))
+            self.stats.observe_max("max_batch_keys", len(point_keys))
+            if len(point_requests) >= 2:
+                self.stats.add(
+                    coalesced_batches=1,
+                    coalesced_requests=len(point_requests),
+                )
+            try:
+                values = self.db.multi_get(point_keys)
+            except BaseException as exc:  # noqa: BLE001 - routed to callers
+                for request in point_requests:
+                    request.fail(exc)
+            else:
+                for request in point_requests:
+                    if request.kind == "point":
+                        request.resolve(values[request.keys[0]])
+                    else:
+                        request.resolve(
+                            {key: values[key] for key in request.keys}
+                        )
+        for request in batch:
+            if request.kind != "range":
+                continue
+            try:
+                request.resolve(
+                    self.db.range_query(request.low, request.high)
+                )
+            except BaseException as exc:  # noqa: BLE001 - routed to callers
+                request.fail(exc)
+
+    def close(self) -> None:
+        """Stop the worker (drains the queue first), then the DB."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=30.0)
+        # A wedged worker (should not happen) could leave requests behind;
+        # fail them rather than hang their waiters forever.
+        with self._cond:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        for request in leftovers:
+            request.fail(ClosedStoreError("serving layer closed"))
+        self.db.close()
+
+
+class ShardedServer:
+    """A key-range sharded serving layer over N in-process DB shards.
+
+    Examples
+    --------
+    >>> from repro.lsm import DBOptions
+    >>> from repro.lsm.serving import ServingOptions, ShardedServer
+    >>> server = ShardedServer(
+    ...     "/tmp/example-serving",
+    ...     DBOptions(key_bits=32),
+    ...     ServingOptions(num_shards=2),
+    ... )
+    >>> server.put(42, b"value")
+    >>> server.get(42)
+    b'value'
+    >>> server.range_query(40, 50)
+    [(42, b'value')]
+    >>> server.close()
+
+    The ``*_async`` variants return :class:`concurrent.futures.Future`
+    so a client can keep many requests in flight — which is exactly what
+    feeds the coalescing window.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        db_options: DBOptions | None = None,
+        serving: ServingOptions | None = None,
+    ) -> None:
+        self.serving = serving if serving is not None else ServingOptions()
+        self.serving.validate()
+        base = db_options if db_options is not None else DBOptions()
+        base.validate()
+        self.router = ShardRouter(
+            base.key_bits,
+            self.serving.num_shards,
+            self.serving.shard_boundaries,
+        )
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        self._closed = False
+        self._shards: list[_Shard] = []
+        try:
+            for index in range(self.serving.num_shards):
+                db = DB(str(root / f"shard_{index:03d}"), replace(base))
+                self._shards.append(
+                    _Shard(index, db, self.serving, ServingStats())
+                )
+        except BaseException:
+            for shard in self._shards:
+                shard.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Point reads
+    # ------------------------------------------------------------------
+    def get_async(self, key: int) -> Future:
+        """Async point lookup; the future resolves to ``bytes | None``."""
+        self._check_open()
+        shard = self._shards[self.router.shard_of(key)]
+        shard.stats.add(point_requests=1)
+        request = _Request("point", [int(key)])
+        shard.submit(request)
+        return request.future
+
+    def get(self, key: int) -> bytes | None:
+        """Blocking point lookup through the batched front-end."""
+        return self.get_async(key).result()
+
+    def multi_get_async(self, keys: Iterable[int]) -> Future:
+        """Async batched lookup; resolves to ``{key: bytes | None}``.
+
+        Keys are split by owning shard; each shard answers its group with
+        one (possibly further coalesced) ``multi_get``.
+        """
+        self._check_open()
+        key_list = [int(key) for key in keys]
+        if not key_list:
+            done: Future = Future()
+            done.set_result({})
+            return done
+        groups = self.router.group_keys(key_list)
+        if len(groups) == 1:
+            # Fast path: every key lives on one shard, so that shard's
+            # multi answer (keyed by all requested keys) IS the answer.
+            ((shard_index, group),) = groups.items()
+            shard = self._shards[shard_index]
+            shard.stats.add(multi_requests=1)
+            request = _Request("multi", group)
+            shard.submit(request)
+            return request.future
+
+        def combine(parts: list) -> dict[int, bytes | None]:
+            merged: dict[int, bytes | None] = {}
+            for part in parts:
+                merged.update(part)
+            return {key: merged[key] for key in key_list}
+
+        sink = _ScatterSink(len(groups), combine)
+        for position, (shard_index, group) in enumerate(groups.items()):
+            shard = self._shards[shard_index]
+            shard.stats.add(multi_requests=1)
+            shard.submit(
+                _Request("multi", group, sink=sink, position=position)
+            )
+        return sink.future
+
+    def multi_get(self, keys: Iterable[int]) -> dict[int, bytes | None]:
+        """Blocking batched lookup through the front-end."""
+        return self.multi_get_async(keys).result()
+
+    # ------------------------------------------------------------------
+    # Range reads
+    # ------------------------------------------------------------------
+    def range_query_async(self, low: int, high: int) -> Future:
+        """Async inclusive range scan; resolves to sorted pairs.
+
+        The range splits at shard boundaries and the shard answers
+        concatenate in shard order — no merge needed, shards are
+        contiguous.  Inverted ranges raise here, eagerly.
+        """
+        self._check_open()
+        pieces = self.router.split_range(low, high)
+        if len(pieces) == 1:
+            shard_index, piece_low, piece_high = pieces[0]
+            shard = self._shards[shard_index]
+            shard.stats.add(range_requests=1)
+            request = _Request("range", low=piece_low, high=piece_high)
+            shard.submit(request)
+            return request.future
+
+        def combine(parts: list) -> list[tuple[int, bytes]]:
+            merged: list[tuple[int, bytes]] = []
+            for part in parts:
+                merged.extend(part)
+            return merged
+
+        sink = _ScatterSink(len(pieces), combine)
+        for position, (shard_index, piece_low, piece_high) in enumerate(
+            pieces
+        ):
+            shard = self._shards[shard_index]
+            shard.stats.add(range_requests=1)
+            shard.submit(
+                _Request(
+                    "range",
+                    low=piece_low,
+                    high=piece_high,
+                    sink=sink,
+                    position=position,
+                )
+            )
+        return sink.future
+
+    def range_query(self, low: int, high: int) -> list[tuple[int, bytes]]:
+        """Blocking inclusive range scan across shards."""
+        return self.range_query_async(low, high).result()
+
+    def range_iter(self, low: int, high: int) -> Iterator[tuple[int, bytes]]:
+        """Streaming inclusive range scan across shards.
+
+        Validation is eager (closed server, inverted range); the returned
+        generator then walks the overlapping shards in key order through
+        each shard DB's genuinely-lazy :meth:`DB.range_iter`, so the
+        first entry is yielded before any later shard — or even the rest
+        of the current shard — has been read.  Bypasses the request queue:
+        a stream holds its shard's superversion pinned while the consumer
+        iterates, which must not block queued point batches behind it.
+        """
+        self._check_open()
+        pieces = self.router.split_range(low, high)
+        for shard_index, _, _ in pieces:
+            self._shards[shard_index].stats.add(stream_requests=1)
+        return self._range_stream(pieces)
+
+    def _range_stream(
+        self, pieces: list[tuple[int, int, int]]
+    ) -> Iterator[tuple[int, bytes]]:
+        for shard_index, piece_low, piece_high in pieces:
+            iterator = self._shards[shard_index].db.range_iter(
+                piece_low, piece_high
+            )
+            try:
+                yield from iterator
+            finally:
+                iterator.close()
+
+    # ------------------------------------------------------------------
+    # Writes (routed straight to the owning shard's write path)
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite a key on its owning shard."""
+        self._check_open()
+        shard = self._shards[self.router.shard_of(key)]
+        shard.stats.add(write_requests=1)
+        shard.db.put(key, value)
+
+    def delete(self, key: int) -> None:
+        """Delete a key (tombstone) on its owning shard."""
+        self._check_open()
+        shard = self._shards[self.router.shard_of(key)]
+        shard.stats.add(write_requests=1)
+        shard.db.delete(key)
+
+    def put_batch(self, items: Iterable[tuple[int, bytes]]) -> None:
+        """Insert many items, grouped per shard."""
+        self._check_open()
+        for key, value in items:
+            self.put(key, value)
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> tuple[DB, ...]:
+        """The underlying per-shard DBs (read-mostly; for tests/tools)."""
+        return tuple(shard.db for shard in self._shards)
+
+    def flush(self) -> None:
+        """Flush every shard (synchronous barrier per shard)."""
+        self._check_open()
+        for shard in self._shards:
+            shard.db.flush()
+
+    def compact(self) -> None:
+        """Settle compaction triggers on every shard."""
+        self._check_open()
+        for shard in self._shards:
+            shard.db.compact()
+
+    def wait_idle(self, timeout_s: float = 60.0) -> bool:
+        """Wait until no shard has background maintenance pending."""
+        self._check_open()
+        return all(
+            shard.db.wait_idle(timeout_s) for shard in self._shards
+        )
+
+    def resume(self) -> bool:
+        """Clear degraded mode on every shard; True when all recovered."""
+        self._check_open()
+        return all(shard.db.resume() for shard in self._shards)
+
+    def health(self) -> ServingHealth:
+        """Aggregate + per-shard health, including live queue depths."""
+        reports = tuple(shard.db.health() for shard in self._shards)
+        return ServingHealth(
+            mode=(
+                "degraded"
+                if any(r.mode != "healthy" for r in reports)
+                else "healthy"
+            ),
+            shards=reports,
+            queue_depths=tuple(
+                shard.queue_depth() for shard in self._shards
+            ),
+        )
+
+    def stats(self) -> ServingStats:
+        """Aggregate front-end counters across all shards."""
+        return ServingStats.aggregate(
+            shard.stats for shard in self._shards
+        )
+
+    def shard_stats(self) -> tuple[ServingStats, ...]:
+        """Per-shard front-end counter snapshots, in shard order."""
+        return tuple(shard.stats.snapshot() for shard in self._shards)
+
+    def perf_totals(self) -> PerfStats:
+        """Sum of every shard DB's :class:`PerfStats` (one snapshot each)."""
+        total = PerfStats()
+        for shard in self._shards:
+            snap = shard.db.stats.snapshot()
+            total.add(
+                **{
+                    f.name: getattr(snap, f.name)
+                    for f in fields(PerfStats)
+                    if f.name != "max_jobs_in_flight"
+                }
+            )
+            total.observe_max(
+                "max_jobs_in_flight", snap.max_jobs_in_flight
+            )
+        return total
+
+    def describe(self) -> str:
+        """Shard layout plus each shard's tree shape."""
+        lines = [self.router.describe()]
+        for shard in self._shards:
+            lines.append(f"-- shard {shard.index} --")
+            lines.append(shard.db.describe())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain every queue, stop the workers, close every shard DB."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedStoreError("operation on a closed serving layer")
+
+    def __enter__(self) -> "ShardedServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,125 @@
+"""Key-range shard routing for the serving layer.
+
+One logical key domain ``[0, 2^key_bits)`` is partitioned into ``N``
+contiguous, non-overlapping shards.  The router is pure metadata — a
+sorted list of interior boundaries — so routing a key is one bisect and
+routing a range is a slice of the shard list.  Contiguity is what makes
+range queries cheap to shard: a range ``[low, high]`` touches exactly the
+shards whose spans it overlaps, and concatenating their (sorted) partial
+answers in shard order yields the globally sorted result with no merge.
+
+Boundaries default to equal-width slices of the domain; callers with a
+skewed keyspace can pass explicit interior boundaries instead (the
+serving layer exposes this as ``ServingOptions.shard_boundaries``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.errors import FilterQueryError, InvalidOptionsError
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Maps keys and key ranges onto ``num_shards`` contiguous shards.
+
+    Shard ``i`` owns ``[bounds[i], bounds[i+1])`` where ``bounds`` is the
+    full boundary list including the domain endpoints ``0`` and
+    ``2^key_bits``.  Immutable after construction, so it is safe to share
+    across any number of client and worker threads without locking.
+    """
+
+    __slots__ = ("key_bits", "num_shards", "_bounds")
+
+    def __init__(
+        self,
+        key_bits: int,
+        num_shards: int,
+        boundaries: Sequence[int] | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise InvalidOptionsError(f"num_shards must be >= 1: {num_shards}")
+        domain = 1 << key_bits
+        if boundaries is None:
+            interior = [
+                (domain * index) // num_shards
+                for index in range(1, num_shards)
+            ]
+        else:
+            interior = [int(b) for b in boundaries]
+            if len(interior) != num_shards - 1:
+                raise InvalidOptionsError(
+                    f"{num_shards} shards need exactly {num_shards - 1} "
+                    f"interior boundaries, got {len(interior)}"
+                )
+            if any(
+                not 0 < b < domain for b in interior
+            ) or interior != sorted(set(interior)):
+                raise InvalidOptionsError(
+                    "shard boundaries must be strictly increasing and "
+                    f"inside (0, 2^{key_bits})"
+                )
+        self.key_bits = key_bits
+        self.num_shards = num_shards
+        self._bounds: tuple[int, ...] = tuple(interior)
+
+    def shard_of(self, key: int) -> int:
+        """Index of the shard owning ``key``."""
+        key = int(key)
+        if key < 0 or key >> self.key_bits:
+            raise FilterQueryError(
+                f"key {key} outside domain [0, 2^{self.key_bits})"
+            )
+        return bisect_right(self._bounds, key)
+
+    def span(self, shard: int) -> tuple[int, int]:
+        """Inclusive key span ``(low, high)`` owned by ``shard``."""
+        if not 0 <= shard < self.num_shards:
+            raise InvalidOptionsError(f"shard {shard} out of range")
+        low = self._bounds[shard - 1] if shard > 0 else 0
+        high = (
+            self._bounds[shard] - 1
+            if shard < self.num_shards - 1
+            else (1 << self.key_bits) - 1
+        )
+        return low, high
+
+    def split_range(
+        self, low: int, high: int
+    ) -> list[tuple[int, int, int]]:
+        """Split ``[low, high]`` into per-shard ``(shard, low, high)`` pieces.
+
+        Pieces come back in shard (= key) order and cover the input range
+        exactly, so concatenating per-shard sorted answers reassembles the
+        global sorted answer.  An inverted range raises eagerly, matching
+        :meth:`DB.range_iter`.
+        """
+        if low > high:
+            raise FilterQueryError(f"invalid range: low={low} > high={high}")
+        first = self.shard_of(max(low, 0))
+        last = self.shard_of(min(high, (1 << self.key_bits) - 1))
+        pieces: list[tuple[int, int, int]] = []
+        for shard in range(first, last + 1):
+            shard_low, shard_high = self.span(shard)
+            pieces.append(
+                (shard, max(low, shard_low), min(high, shard_high))
+            )
+        return pieces
+
+    def group_keys(self, keys: Sequence[int]) -> dict[int, list[int]]:
+        """Bucket ``keys`` by owning shard (insertion order preserved)."""
+        groups: dict[int, list[int]] = {}
+        for key in keys:
+            groups.setdefault(self.shard_of(key), []).append(key)
+        return groups
+
+    def describe(self) -> str:
+        """One-line human-readable span table."""
+        spans = ", ".join(
+            f"s{index}=[{self.span(index)[0]}, {self.span(index)[1]}]"
+            for index in range(self.num_shards)
+        )
+        return f"ShardRouter({self.num_shards} shards: {spans})"

@@ -1,0 +1,325 @@
+"""Serving layer: shard routing, equivalence with direct DB calls, coalescing.
+
+The contract under test: a :class:`~repro.lsm.serving.ShardedServer` is
+*observationally identical* to one DB holding the same data — every
+``get`` / ``multi_get`` / ``range_query`` / ``range_iter`` answer is
+byte-identical on randomized mixed workloads (including ranges that
+straddle shard boundaries) — while the front-end's own counters account
+for every request and the shard DBs' counters stay in scalar/batch
+parity with the equivalent direct calls.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bench.factories import make_factory
+from repro.errors import ClosedStoreError, FilterQueryError, InvalidOptionsError
+from repro.lsm.db import DB
+from repro.lsm.options import DBOptions
+from repro.lsm.serving import ServingOptions, ShardedServer
+from repro.lsm.shard import ShardRouter
+
+KEY_BITS = 16
+DOMAIN = 1 << KEY_BITS
+
+
+def _db_options(**overrides) -> DBOptions:
+    base = dict(
+        key_bits=KEY_BITS,
+        memtable_size_bytes=4 << 10,
+        sst_size_bytes=8 << 10,
+        block_size_bytes=512,
+        max_bytes_for_level_base=32 << 10,
+        filter_factory=make_factory("rosetta", KEY_BITS, 14, max_range=32),
+    )
+    base.update(overrides)
+    return DBOptions(**base)
+
+
+def _server(tmp_path, **serving_overrides) -> ShardedServer:
+    serving = dict(num_shards=4, coalescing_window_s=0.0)
+    serving.update(serving_overrides)
+    return ShardedServer(
+        str(tmp_path / "server"), _db_options(), ServingOptions(**serving)
+    )
+
+
+# ----------------------------------------------------------------------
+# ShardRouter unit behavior
+# ----------------------------------------------------------------------
+class TestShardRouter:
+    def test_default_boundaries_cover_domain_contiguously(self):
+        router = ShardRouter(KEY_BITS, 4)
+        assert router.span(0)[0] == 0
+        assert router.span(3)[1] == DOMAIN - 1
+        for shard in range(3):
+            assert router.span(shard)[1] + 1 == router.span(shard + 1)[0]
+
+    def test_shard_of_matches_spans(self, rng):
+        router = ShardRouter(KEY_BITS, 5)
+        for key in rng.sample(range(DOMAIN), 500):
+            shard = router.shard_of(key)
+            low, high = router.span(shard)
+            assert low <= key <= high
+
+    def test_out_of_domain_key_raises(self):
+        router = ShardRouter(KEY_BITS, 4)
+        with pytest.raises(FilterQueryError):
+            router.shard_of(-1)
+        with pytest.raises(FilterQueryError):
+            router.shard_of(DOMAIN)
+
+    def test_split_range_reassembles_exactly(self, rng):
+        router = ShardRouter(KEY_BITS, 4)
+        for _ in range(200):
+            low = rng.randrange(DOMAIN)
+            high = rng.randrange(low, DOMAIN)
+            pieces = router.split_range(low, high)
+            assert pieces[0][1] == low and pieces[-1][2] == high
+            for (_, _, prev_high), (_, next_low, _) in zip(
+                pieces, pieces[1:]
+            ):
+                assert next_low == prev_high + 1
+            assert [p[0] for p in pieces] == sorted({p[0] for p in pieces})
+
+    def test_split_range_inverted_raises(self):
+        with pytest.raises(FilterQueryError):
+            ShardRouter(KEY_BITS, 4).split_range(10, 9)
+
+    def test_group_keys_preserves_order_and_duplicates(self):
+        router = ShardRouter(KEY_BITS, 2)
+        half = DOMAIN // 2
+        groups = router.group_keys([1, half + 1, 2, 1, half + 2])
+        assert groups == {0: [1, 2, 1], 1: [half + 1, half + 2]}
+
+    def test_explicit_boundaries_validated(self):
+        assert ShardRouter(KEY_BITS, 3, (100, 200)).span(1) == (100, 199)
+        with pytest.raises(InvalidOptionsError):
+            ShardRouter(KEY_BITS, 3, (100,))  # wrong count
+        with pytest.raises(InvalidOptionsError):
+            ShardRouter(KEY_BITS, 3, (200, 100))  # not increasing
+        with pytest.raises(InvalidOptionsError):
+            ShardRouter(KEY_BITS, 3, (0, 100))  # not interior
+
+
+class TestServingOptions:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_shards": 0},
+            {"coalescing_window_s": -1.0},
+            {"max_batch_keys": 0},
+            {"max_batch_requests": 0},
+            {"max_queue_depth": 0},
+        ],
+    )
+    def test_validate_rejects(self, overrides):
+        with pytest.raises(InvalidOptionsError):
+            ServingOptions(**overrides).validate()
+
+
+# ----------------------------------------------------------------------
+# Equivalence with direct DB calls (byte-identical, counter parity)
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    def _load_both(self, tmp_path, rng, num_keys=3000):
+        reference = DB(str(tmp_path / "reference"), _db_options())
+        server = _server(tmp_path)
+        data = {}
+        for key in rng.sample(range(DOMAIN), num_keys):
+            value = b"serve-%d" % key
+            data[key] = value
+            reference.put(key, value)
+            server.put(key, value)
+        reference.flush()
+        server.flush()
+        return reference, server, data
+
+    def test_randomized_mixed_workload_is_byte_identical(
+        self, tmp_path, rng
+    ):
+        reference, server, data = self._load_both(tmp_path, rng)
+        for _ in range(150):
+            roll = rng.random()
+            if roll < 0.40:
+                key = rng.randrange(DOMAIN)
+                assert server.get(key) == reference.get(key)
+            elif roll < 0.70:
+                keys = [rng.randrange(DOMAIN) for _ in range(11)]
+                assert server.multi_get(keys) == reference.multi_get(keys)
+            elif roll < 0.90:
+                low = rng.randrange(DOMAIN)
+                high = min(DOMAIN - 1, low + rng.randrange(1, DOMAIN // 4))
+                assert server.range_query(low, high) == (
+                    reference.range_query(low, high)
+                )
+            else:
+                key, value = rng.randrange(DOMAIN), b"upd-%d" % rng.random()
+                server.put(key, value)
+                reference.put(key, value)
+        assert server.range_query(0, DOMAIN - 1) == (
+            reference.range_query(0, DOMAIN - 1)
+        )
+        server.close()
+        reference.close()
+
+    def test_shard_straddling_range(self, tmp_path, rng):
+        reference, server, data = self._load_both(tmp_path, rng)
+        boundary = server.router.span(1)[1]  # shard 1 / shard 2 edge
+        low, high = boundary - 500, boundary + 500
+        pieces = server.router.split_range(low, high)
+        assert len(pieces) >= 2, "range must straddle a shard boundary"
+        expected = reference.range_query(low, high)
+        assert server.range_query(low, high) == expected
+        assert list(server.range_iter(low, high)) == expected
+        server.close()
+        reference.close()
+
+    def test_scalar_batch_counter_parity(self, tmp_path, rng):
+        """The same lookups cost the same point_queries either way.
+
+        ``multi_get`` dedups per call on both sides and the shard split
+        never changes the distinct-key count, so the shard DBs' summed
+        ``point_queries`` (and writes) must match the reference DB's.
+        """
+        reference, server, data = self._load_both(tmp_path, rng)
+        ref_before = reference.stats.snapshot()
+        srv_before = server.perf_totals()
+        gets = [rng.randrange(DOMAIN) for _ in range(60)]
+        multis = [
+            [rng.randrange(DOMAIN) for _ in range(9)] for _ in range(30)
+        ]
+        for key in gets:
+            assert server.get(key) == reference.get(key)
+        for keys in multis:
+            assert server.multi_get(keys) == reference.multi_get(keys)
+        ref_delta = reference.stats.diff(ref_before)
+        srv_totals = server.perf_totals()
+        srv_points = srv_totals.point_queries - srv_before.point_queries
+        assert srv_points == ref_delta.point_queries
+        # The front-end accounted for every request it saw.
+        stats = server.stats()
+        assert stats.point_requests == len(gets)
+        assert stats.multi_requests >= len(multis)
+        assert stats.batches > 0
+        assert stats.batched_keys == srv_points
+        server.close()
+        reference.close()
+
+    def test_batched_path_really_engaged(self, tmp_path, rng):
+        reference, server, data = self._load_both(tmp_path, rng, 1500)
+        server.multi_get([rng.randrange(DOMAIN) for _ in range(16)])
+        totals = server.perf_totals()
+        assert totals.multi_point_queries > 0
+        assert totals.filter_batch_probes > 0
+        server.close()
+        reference.close()
+
+
+# ----------------------------------------------------------------------
+# Coalescing, health, lifecycle
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_concurrent_points_coalesce_into_one_batch(self, tmp_path, rng):
+        server = _server(
+            tmp_path, num_shards=2, coalescing_window_s=0.05
+        )
+        keys = rng.sample(range(DOMAIN), 400)
+        for key in keys:
+            server.put(key, b"v-%d" % key)
+        server.flush()
+        # Async submits from one thread: all in flight inside one window.
+        lookups = rng.sample(keys, 64)
+        futures = [server.get_async(key) for key in lookups]
+        for key, future in zip(lookups, futures):
+            assert future.result(timeout=30) == b"v-%d" % key
+        stats = server.stats()
+        assert stats.coalesced_batches >= 1
+        assert stats.coalesced_requests >= 2
+        assert stats.batches < len(lookups)  # strictly fewer than 1:1
+        assert stats.max_batch_requests >= 2
+        server.close()
+
+    def test_multi_threaded_clients_get_correct_answers(self, tmp_path, rng):
+        server = _server(tmp_path, coalescing_window_s=0.002)
+        data = {}
+        for key in rng.sample(range(DOMAIN), 1000):
+            data[key] = b"mt-%d" % key
+            server.put(key, data[key])
+        server.flush()
+        errors: list[BaseException] = []
+
+        def client(seed: int) -> None:
+            import random as _random
+
+            local = _random.Random(seed)
+            try:
+                for _ in range(40):
+                    keys = [local.randrange(DOMAIN) for _ in range(7)]
+                    expected = {k: data.get(k) for k in keys}
+                    assert server.multi_get(keys) == expected
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(seed,)) for seed in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        server.close()
+
+
+class TestHealthAndLifecycle:
+    def test_health_reports_every_shard_and_queue(self, tmp_path, rng):
+        server = _server(tmp_path)
+        for key in rng.sample(range(DOMAIN), 200):
+            server.put(key, b"h")
+        server.flush()
+        health = server.health()
+        assert health.ok and health.mode == "healthy"
+        assert len(health.shards) == 4
+        assert health.queue_depths == (0, 0, 0, 0)
+        assert "4 shards" in health.summary()
+
+    def test_empty_multi_get(self, tmp_path):
+        server = _server(tmp_path)
+        assert server.multi_get([]) == {}
+        server.close()
+
+    def test_out_of_domain_key_raises_eagerly(self, tmp_path):
+        server = _server(tmp_path)
+        with pytest.raises(FilterQueryError):
+            server.get(DOMAIN)
+        with pytest.raises(FilterQueryError):
+            server.range_query(5, 1)
+        server.close()
+
+    def test_close_semantics(self, tmp_path):
+        server = _server(tmp_path)
+        server.put(1, b"x")
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(ClosedStoreError):
+            server.get(1)
+        with pytest.raises(ClosedStoreError):
+            server.put(2, b"y")
+
+    def test_context_manager_closes(self, tmp_path):
+        with _server(tmp_path) as server:
+            server.put(3, b"z")
+            assert server.get(3) == b"z"
+        with pytest.raises(ClosedStoreError):
+            server.get(3)
+
+    def test_reopen_preserves_data(self, tmp_path):
+        with _server(tmp_path) as server:
+            server.put(41, b"before")
+            server.flush()
+        with _server(tmp_path) as reopened:
+            assert reopened.get(41) == b"before"

@@ -92,6 +92,21 @@ RULES: dict[str, dict[str, Rule]] = {
         "_inflight": _rule(("_inflight_lock",), ("__init__",)),
         "_next_job_id": _rule(("_inflight_lock",), ("__init__",)),
     },
+    # Serving layer (repro.lsm.serving): per-shard request queue and the
+    # closed flag live under the shard's condition variable; the server's
+    # own closed flag is single-writer on the teardown path.
+    "_Shard": {
+        "_queue": _rule(("_cond",), ("__init__",)),
+        "_closed": _rule(("_cond",), ("__init__",)),
+    },
+    "_ScatterSink": {
+        "_remaining": _rule(("_lock",), ("__init__",)),
+        "_parts": _rule(("_lock",), ("__init__",)),
+    },
+    "ShardedServer": {
+        "_closed": _rule((), ("__init__", "close")),
+        "_shards": _rule((), ("__init__",)),
+    },
 }
 
 
@@ -240,6 +255,7 @@ def check_file(
 _TARGETS = (
     os.path.join("src", "repro", "lsm", "db.py"),
     os.path.join("src", "repro", "lsm", "compaction.py"),
+    os.path.join("src", "repro", "lsm", "serving.py"),
 )
 
 
