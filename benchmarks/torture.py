@@ -64,6 +64,12 @@ def run_matrix(seeds: int, style: str, sched_seeds: int) -> dict:
         max_compaction_input_files=1,
         compaction_style=style,
     )
+    # Salted filters ride inside the SST envelope, so a power cut at any
+    # durable write must recover a store whose surviving runs still probe
+    # with the exact per-file hash family they were built with.
+    salted_config = TortureConfig(
+        compaction_style=style, filter_salt_seed=0x5EED_CAFE
+    )
     interleavings = tuple(range(sched_seeds))
     records = []
     violations: list[str] = []
@@ -159,6 +165,25 @@ def run_matrix(seeds: int, style: str, sched_seeds: int) -> dict:
                 f"{concurrent.leveled_range_admissions} range admissions, "
                 f"{len(concurrent.violations)} violations"
             )
+        salted_records = []
+        for seed in range(min(3, seeds)):
+            report = torture_seed(workdir, seed, salted_config)
+            total_crash_points += report.crash_points
+            violations.extend(
+                f"salted {violation}" for violation in report.violations
+            )
+            salted_records.append(
+                {
+                    "seed": seed,
+                    "crash_points": report.crash_points,
+                    "recoveries": report.recoveries,
+                    "violations": report.violations,
+                }
+            )
+            print(
+                f"salted seed {seed:3d}: {report.crash_points:4d} inline "
+                f"crash points, {len(report.violations)} violations"
+            )
     return {
         "bench": "torture",
         "compaction_style": style,
@@ -171,6 +196,7 @@ def run_matrix(seeds: int, style: str, sched_seeds: int) -> dict:
         "violations": violations,
         "per_seed": records,
         "range_sweep": range_records,
+        "salted_sweep": salted_records,
     }
 
 

@@ -50,6 +50,28 @@ FILTER_NAMES = (
 )
 
 
+#: Recipes whose filters hash their keys and therefore accept a per-SST
+#: salt (and a rebuild-time bits-per-key override).  Structural recipes —
+#: the SuRF variants, the fence-pointer pseudo-filter, and ``bloom+surf``
+#: (its SuRF half is structural) — derive their layout from the keys
+#: themselves, so their builders deliberately take no ``salt`` parameter
+#: and :meth:`FilterFactory.build` raises if one is supplied.
+_SALTABLE = frozenset(
+    {
+        "rosetta",
+        "rosetta-single",
+        "rosetta-variable",
+        "rosetta-optimized",
+        "rosetta-uniform",
+        "rosetta-equilibrium",
+        "prefix-bloom",
+        "bloom",
+        "cuckoo",
+        "quotient",
+    }
+)
+
+
 def make_factory(
     name: str,
     key_bits: int,
@@ -69,12 +91,33 @@ def make_factory(
             f"unknown filter recipe {name!r}; expected one of {FILTER_NAMES}"
         )
 
-    def build(keys: Sequence[int]) -> KeyFilter:
-        filt = _instantiate(
-            name, key_bits, bits_per_key, max_range, range_size_histogram
-        )
-        filt.populate(keys)
-        return filt
+    if name in _SALTABLE:
+
+        def build(
+            keys: Sequence[int],
+            salt: int = 0,
+            bits_per_key: float | None = None,
+            _default_bpk: float = bits_per_key,
+        ) -> KeyFilter:
+            filt = _instantiate(
+                name,
+                key_bits,
+                bits_per_key if bits_per_key is not None else _default_bpk,
+                max_range,
+                range_size_histogram,
+                salt=salt,
+            )
+            filt.populate(keys)
+            return filt
+
+    else:
+
+        def build(keys: Sequence[int]) -> KeyFilter:
+            filt = _instantiate(
+                name, key_bits, bits_per_key, max_range, range_size_histogram
+            )
+            filt.populate(keys)
+            return filt
 
     return FilterFactory(name, build, bits_per_key=bits_per_key)
 
@@ -85,6 +128,7 @@ def _instantiate(
     bits_per_key: float,
     max_range: int,
     histogram: Mapping[int, float] | None,
+    salt: int = 0,
 ) -> KeyFilter:
     if name.startswith("rosetta"):
         strategy = "hybrid" if name == "rosetta" else name.split("-", 1)[1]
@@ -94,6 +138,7 @@ def _instantiate(
             max_range=max_range,
             strategy=strategy,
             range_size_histogram=histogram,
+            salt=salt,
         )
     if name.startswith("surf"):
         variant = {"surf": "real", "surf-real": "real",
@@ -106,13 +151,21 @@ def _instantiate(
             key_bits=key_bits, bits_per_key=bits_per_key
         )
     if name == "prefix-bloom":
-        return PrefixBloomFilter(key_bits=key_bits, bits_per_key=bits_per_key)
+        return PrefixBloomFilter(
+            key_bits=key_bits, bits_per_key=bits_per_key, salt=salt
+        )
     if name == "bloom":
-        return BloomPointFilter(key_bits=key_bits, bits_per_key=bits_per_key)
+        return BloomPointFilter(
+            key_bits=key_bits, bits_per_key=bits_per_key, salt=salt
+        )
     if name == "cuckoo":
-        return CuckooFilter(key_bits=key_bits, bits_per_key=bits_per_key)
+        return CuckooFilter(
+            key_bits=key_bits, bits_per_key=bits_per_key, salt=salt
+        )
     if name == "quotient":
-        return QuotientFilter(key_bits=key_bits, bits_per_key=bits_per_key)
+        return QuotientFilter(
+            key_bits=key_bits, bits_per_key=bits_per_key, salt=salt
+        )
     if name == "fence":
         return FencePointerFilter(key_bits=key_bits)
     raise WorkloadError(f"unhandled filter recipe {name!r}")

@@ -24,6 +24,8 @@ from repro.core.hashing import (
     double_hash_indexes,
     hash_bytes,
     hash_int,
+    mix_salt,
+    mix_salt_array,
     splitmix64,
     splitmix64_array,
 )
@@ -107,6 +109,13 @@ class BloomFilter:
         Size of the bit array.  Zero produces an always-positive filter.
     num_hashes:
         Number of double-hashed probes per item (``k``).
+    salt:
+        Optional 64-bit re-keying salt applied on top of the base hashes
+        (:func:`~repro.core.hashing.mix_salt`).  Zero — the default — is
+        the identity and reproduces the historical unsalted filter
+        bit-for-bit.  Salting defends against adversaries replaying
+        learned false positives: rebuilding with a fresh salt re-keys
+        every probe position.
 
     Examples
     --------
@@ -115,26 +124,31 @@ class BloomFilter:
     True
     """
 
-    __slots__ = ("_bits", "_num_hashes", "_num_items")
+    __slots__ = ("_bits", "_num_hashes", "_num_items", "_salt")
 
-    def __init__(self, num_bits: int, num_hashes: int) -> None:
+    def __init__(self, num_bits: int, num_hashes: int, salt: int = 0) -> None:
         if num_hashes < 1:
             raise FilterBuildError(f"num_hashes must be >= 1, got {num_hashes}")
+        if not 0 <= salt < 1 << 64:
+            raise FilterBuildError(f"salt must be a 64-bit value, got {salt}")
         self._bits = BitArray(num_bits)
         self._num_hashes = int(num_hashes)
         self._num_items = 0
+        self._salt = int(salt)
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_keys_and_bits(cls, keys, num_bits: int, num_hashes: int | None = None):
+    def from_keys_and_bits(
+        cls, keys, num_bits: int, num_hashes: int | None = None, salt: int = 0
+    ):
         """Build a filter sized at ``num_bits`` holding all of ``keys``."""
         keys = list(keys)
         if num_hashes is None:
             bits_per_key = num_bits / len(keys) if keys else 1.0
             num_hashes = optimal_num_hashes(bits_per_key)
-        bf = cls(num_bits, num_hashes)
+        bf = cls(num_bits, num_hashes, salt=salt)
         for key in keys:
             bf.add(key)
         return bf
@@ -165,6 +179,11 @@ class BloomFilter:
         return self._num_items
 
     @property
+    def salt(self) -> int:
+        """The re-keying salt (0 for a legacy unsalted filter)."""
+        return self._salt
+
+    @property
     def is_always_positive(self) -> bool:
         """``True`` for a zero-bit filter, which can never prune."""
         return self._bits.num_bits == 0
@@ -188,14 +207,22 @@ class BloomFilter:
     # ------------------------------------------------------------------
     # Hashing
     # ------------------------------------------------------------------
-    @staticmethod
-    def _base_hashes(item) -> tuple[int, int]:
+    def _base_hashes(self, item) -> tuple[int, int]:
         if isinstance(item, (int, np.integer)):
-            return hash_int(int(item), _SEED1), hash_int(int(item), _SEED2)
-        if isinstance(item, (bytes, bytearray, memoryview)):
+            h1, h2 = hash_int(int(item), _SEED1), hash_int(int(item), _SEED2)
+        elif isinstance(item, (bytes, bytearray, memoryview)):
             data = bytes(item)
-            return hash_bytes(data, _SEED1), hash_bytes(data, _SEED2)
-        raise TypeError(f"BloomFilter items must be int or bytes, got {type(item)!r}")
+            h1, h2 = hash_bytes(data, _SEED1), hash_bytes(data, _SEED2)
+        else:
+            raise TypeError(
+                f"BloomFilter items must be int or bytes, got {type(item)!r}"
+            )
+        return mix_salt(h1, self._salt), mix_salt(h2, self._salt)
+
+    def _hash_arrays(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        h1 = splitmix64_array(values ^ np.uint64(_H1_STAGE))
+        h2 = splitmix64_array(values ^ np.uint64(_H2_STAGE))
+        return mix_salt_array(h1, self._salt), mix_salt_array(h2, self._salt)
 
     # ------------------------------------------------------------------
     # Mutation / queries
@@ -219,8 +246,7 @@ class BloomFilter:
         self._num_items += len(values)
         if self.is_always_positive or len(values) == 0:
             return
-        h1 = splitmix64_array(values ^ np.uint64(_H1_STAGE))
-        h2 = splitmix64_array(values ^ np.uint64(_H2_STAGE))
+        h1, h2 = self._hash_arrays(values)
         indexes = bloom_indexes_array(h1, h2, self._num_hashes, self.num_bits)
         self._bits.set_many(indexes.ravel())
 
@@ -244,8 +270,7 @@ class BloomFilter:
             return np.ones(len(values), dtype=bool)
         if len(values) == 0:
             return np.zeros(0, dtype=bool)
-        h1 = splitmix64_array(values ^ np.uint64(_H1_STAGE))
-        h2 = splitmix64_array(values ^ np.uint64(_H2_STAGE))
+        h1, h2 = self._hash_arrays(values)
         indexes = bloom_indexes_array(h1, h2, self._num_hashes, self.num_bits)
         hits = self._bits.test_many(indexes.ravel()).reshape(indexes.shape)
         return hits.all(axis=1)
@@ -284,12 +309,19 @@ class BloomFilter:
         ``h1``/``h2`` are the :func:`base_hash_arrays` outputs; the probe
         recurrence matches :func:`~repro.core.hashing.double_hash_indexes`
         bit for bit, so verdicts agree with :meth:`may_contain` exactly.
+        The base hashes stay filter independent even under salting: the
+        salt is mixed in here, per filter, so a batch engine can still
+        hash every candidate once and reuse it against differently-salted
+        runs.
         """
         count = len(h1)
         if self.is_always_positive:
             return np.arange(count, dtype=np.int64)
         if count == 0:
             return np.zeros(0, dtype=np.int64)
+        if self._salt:
+            h1 = mix_salt_array(h1, self._salt)
+            h2 = mix_salt_array(h2, self._salt)
         alive = np.arange(count, dtype=np.int64)
         pos = h1.astype(np.uint64, copy=True)
         step = h2 | np.uint64(1)
@@ -324,7 +356,13 @@ class BloomFilter:
                 f"({self.num_bits}/{self._num_hashes} vs "
                 f"{other.num_bits}/{other.num_hashes})"
             )
-        merged = BloomFilter(self.num_bits, self._num_hashes)
+        if other.salt != self._salt:
+            raise FilterBuildError(
+                "can only union Bloom filters with identical salts "
+                f"({self._salt:#x} vs {other.salt:#x}): differently-salted "
+                "filters map the same key to different bit positions"
+            )
+        merged = BloomFilter(self.num_bits, self._num_hashes, salt=self._salt)
         merged._bits.union_with(self._bits)
         merged._bits.union_with(other._bits)
         merged._num_items = self._num_items + other._num_items
@@ -333,29 +371,57 @@ class BloomFilter:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
+    #: Legacy unsalted format; still written when ``salt == 0`` so stores
+    #: that never enable salting produce byte-identical filter blocks.
     _MAGIC = b"RBF1"
+    #: Salted format: an 8-byte little-endian salt follows the item count.
+    _MAGIC_SALTED = b"RBF2"
 
     def to_bytes(self) -> bytes:
-        """Serialize to bytes (magic, k, item count, bit payload)."""
-        return (
-            self._MAGIC
-            + self._num_hashes.to_bytes(4, "little")
+        """Serialize to bytes (magic, k, item count, [salt], bit payload)."""
+        header = (
+            self._num_hashes.to_bytes(4, "little")
             + self._num_items.to_bytes(8, "little")
+        )
+        if self._salt == 0:
+            return self._MAGIC + header + self._bits.to_bytes()
+        return (
+            self._MAGIC_SALTED
+            + header
+            + self._salt.to_bytes(8, "little")
             + self._bits.to_bytes()
         )
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "BloomFilter":
-        """Reconstruct a filter from :meth:`to_bytes` output."""
-        if payload[:4] != cls._MAGIC:
+        """Reconstruct a filter from :meth:`to_bytes` output.
+
+        Accepts both the legacy unsalted ``RBF1`` layout and the salted
+        ``RBF2`` layout, so filter blocks written before salting existed
+        keep loading.
+        """
+        magic = payload[:4]
+        if magic not in (cls._MAGIC, cls._MAGIC_SALTED):
             raise SerializationError("bad BloomFilter magic")
         num_hashes = int.from_bytes(payload[4:8], "little")
         num_items = int.from_bytes(payload[8:16], "little")
-        bits = BitArray.from_bytes(payload[16:])
+        offset = 16
+        salt = 0
+        if magic == cls._MAGIC_SALTED:
+            if len(payload) < 24:
+                raise SerializationError("truncated salted BloomFilter payload")
+            salt = int.from_bytes(payload[16:24], "little")
+            if salt == 0:
+                raise SerializationError(
+                    "salted BloomFilter payload carries a zero salt"
+                )
+            offset = 24
+        bits = BitArray.from_bytes(payload[offset:])
         bf = cls.__new__(cls)
         bf._bits = bits
         bf._num_hashes = num_hashes
         bf._num_items = num_items
+        bf._salt = salt
         return bf
 
     def __repr__(self) -> str:

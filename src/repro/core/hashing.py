@@ -30,6 +30,9 @@ __all__ = [
     "double_hash_indexes",
     "splitmix64_array",
     "bloom_indexes_array",
+    "mix_salt",
+    "mix_salt_array",
+    "derive_filter_salt",
 ]
 
 
@@ -79,6 +82,40 @@ def hash_bytes(data: bytes, seed: int = 0) -> int:
         h = ((h ^ byte) * 0x100000001B3) & _MASK64
     # Mix in the length so prefixes of each other don't collide trivially.
     return splitmix64(h ^ len(data))
+
+
+def mix_salt(value: int, salt: int) -> int:
+    """Re-key a 64-bit hash with a salt; ``salt == 0`` is the identity.
+
+    Filters apply this *after* their base hash so salted and unsalted
+    instances can share one base-hash computation (the batch range engine
+    hashes every candidate prefix once across all runs).  Salt 0 reproduces
+    the historical unsalted hash bit-for-bit, which keeps pre-salting
+    serialized filters loadable and parity suites meaningful.
+    """
+    if salt == 0:
+        return value
+    return splitmix64(value ^ salt)
+
+
+def mix_salt_array(values: np.ndarray, salt: int) -> np.ndarray:
+    """Vectorized :func:`mix_salt` over a ``uint64`` array."""
+    if salt == 0:
+        return values
+    return splitmix64_array(values ^ np.uint64(salt))
+
+
+def derive_filter_salt(seed: int, file_number: int) -> int:
+    """Per-SST filter salt from the store seed and the SST file number.
+
+    ``seed == 0`` disables salting entirely (returns 0).  Otherwise the
+    salt is a nonzero splitmix64 mix of seed and file number, so every
+    compaction output — which always gets a fresh file number — re-keys
+    its filters and any false positives an adversary learned go stale.
+    """
+    if seed == 0:
+        return 0
+    return splitmix64(splitmix64(seed) ^ (file_number & _MASK64)) or 1
 
 
 def double_hash_indexes(h1: int, h2: int, k: int, num_bits: int) -> Iterable[int]:

@@ -128,6 +128,7 @@ class Rosetta:
         max_range: int = 64,
         strategy: str = "optimized",
         range_size_histogram: Mapping[int, float] | None = None,
+        salt: int = 0,
     ) -> "Rosetta":
         """Build a Rosetta over ``keys`` (Algorithm 1 + §2.3/2.4 allocation).
 
@@ -148,6 +149,10 @@ class Rosetta:
         range_size_histogram:
             Observed range-size distribution for the workload-aware
             strategies and the ``hybrid`` rule.
+        salt:
+            Re-keying salt applied by every level's Bloom filter (see
+            :class:`~repro.core.bloom.BloomFilter`).  0 (default) keeps
+            the historical unsalted hashes.
         """
         unique = cls._validated_unique_keys(keys, key_bits)
         num_keys = len(unique)
@@ -171,7 +176,7 @@ class Rosetta:
             max_height=max_height,
             range_size_histogram=range_size_histogram,
         )
-        filters = cls._build_filters(unique, key_bits, level_allocation)
+        filters = cls._build_filters(unique, key_bits, level_allocation, salt)
         return cls(key_bits, filters, level_allocation, num_keys)
 
     @staticmethod
@@ -194,7 +199,10 @@ class Rosetta:
 
     @staticmethod
     def _build_filters(
-        unique_keys, key_bits: int, level_allocation: LevelAllocation
+        unique_keys,
+        key_bits: int,
+        level_allocation: LevelAllocation,
+        salt: int = 0,
     ) -> list[BloomFilter]:
         """Insert every prefix of every key into its level's Bloom filter.
 
@@ -212,7 +220,9 @@ class Rosetta:
                 prefixes = sorted({key >> height for key in unique_keys})
                 count = len(prefixes)
             bits_per_item = num_bits / count if count else 1.0
-            bloom = BloomFilter(num_bits, optimal_num_hashes(bits_per_item))
+            bloom = BloomFilter(
+                num_bits, optimal_num_hashes(bits_per_item), salt=salt
+            )
             if not bloom.is_always_positive:
                 if vectorized:
                     bloom.add_many_ints(prefixes)
@@ -244,6 +254,11 @@ class Rosetta:
     def num_keys(self) -> int:
         """Number of distinct keys indexed."""
         return self._num_keys
+
+    @property
+    def salt(self) -> int:
+        """The re-keying salt shared by every level (0 when unsalted)."""
+        return self._filters[0].salt
 
     @property
     def levels(self) -> tuple[BloomFilter, ...]:

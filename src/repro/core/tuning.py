@@ -20,7 +20,25 @@ from typing import Mapping
 
 from repro.core.allocation import HYBRID_SMALL_RANGE_CUTOFF
 
-__all__ = ["WorkloadTracker", "AutoTuner", "TuningDecision"]
+__all__ = ["WorkloadTracker", "AutoTuner", "TuningDecision", "observed_fpr"]
+
+
+def observed_fpr(false_positives: int, negatives: int) -> float:
+    """Measured filter FPR under the *rejectable-query* convention.
+
+    ``false_positives / (negatives + false_positives)``: among queries the
+    filter could have rejected (the ground truth was empty), the share it
+    failed to.  True positives are excluded from the denominator — a
+    filter is never wrong on them, so counting them would let a
+    positive-heavy workload mask an attack.  This is the single shared
+    definition: ``PerfStats.observed_fpr``, the tracker below, and the
+    FP-feedback attack detector all call it, so the tuner and the
+    detector can never disagree.
+    """
+    rejectable = negatives + false_positives
+    if rejectable == 0:
+        return 0.0
+    return false_positives / rejectable
 
 
 class WorkloadTracker:
@@ -120,11 +138,12 @@ class WorkloadTracker:
 
     @property
     def observed_false_positive_rate(self) -> float:
-        """Measured FPR of filter verdicts (0.0 with no data)."""
-        probes = self._filter_positives + self._filter_negatives
-        if probes == 0:
-            return 0.0
-        return self._false_positives / probes
+        """Measured FPR of filter verdicts (0.0 with no data).
+
+        Shares the rejectable-query convention of :func:`observed_fpr`
+        with ``PerfStats.observed_fpr`` and the attack detector.
+        """
+        return observed_fpr(self._false_positives, self._filter_negatives)
 
     def dominant_small_ranges(self) -> bool:
         """True when ranges of size <= 16 carry most of the query mass."""
@@ -186,15 +205,39 @@ class AutoTuner:
     ``max_range`` is sized to the quantile of observed range sizes given by
     ``coverage`` (default P99), rounded up to a power of two and clamped to
     ``range_cap``.
+
+    ``attack_bits_bonus`` is the FP-feedback reallocation knob: when a
+    run's filter has been flagged as under a false-positive replay attack,
+    its compaction rebuild is granted this many extra bits per key (see
+    :meth:`rebuild_bits_per_key`), driving the rebuilt filter's design FPR
+    down so the attacker has to re-learn against a harder target.
     """
 
-    def __init__(self, coverage: float = 0.99, range_cap: int = 4096) -> None:
+    def __init__(
+        self,
+        coverage: float = 0.99,
+        range_cap: int = 4096,
+        attack_bits_bonus: float = 8.0,
+    ) -> None:
         if not 0.0 < coverage <= 1.0:
             raise ValueError(f"coverage must be in (0, 1], got {coverage}")
         if range_cap < 1:
             raise ValueError(f"range_cap must be >= 1, got {range_cap}")
+        if attack_bits_bonus < 0:
+            raise ValueError(
+                f"attack_bits_bonus must be >= 0, got {attack_bits_bonus}"
+            )
         self.coverage = coverage
         self.range_cap = range_cap
+        self.attack_bits_bonus = attack_bits_bonus
+
+    def rebuild_bits_per_key(
+        self, base_bits_per_key: float, under_attack: bool
+    ) -> float:
+        """Bits/key for a filter rebuild; flagged runs get the bonus."""
+        if under_attack:
+            return base_bits_per_key + self.attack_bits_bonus
+        return base_bits_per_key
 
     def recommend(
         self, tracker: WorkloadTracker, default_max_range: int = 64

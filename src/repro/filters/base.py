@@ -20,9 +20,10 @@ filter instances at every flush/compaction, as the paper requires.
 from __future__ import annotations
 
 import abc
+import inspect
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import SerializationError
+from repro.errors import FilterBuildError, SerializationError
 
 __all__ = ["KeyFilter", "FilterFactory", "register_filter_codec", "deserialize_filter"]
 
@@ -97,6 +98,16 @@ class KeyFilter(abc.ABC):
     def reset_probe_count(self) -> None:
         """Reset internal probe counters, if tracked."""
 
+    def design_fpr(self) -> float | None:
+        """The FPR this filter was built to deliver, if it knows one.
+
+        The FP-feedback attack detector compares each run's *observed*
+        FPR against a multiple of this value; ``None`` (the default)
+        means the filter publishes no design point and its runs are
+        never flagged.
+        """
+        return None
+
 
 class FilterFactory:
     """A named recipe that builds fresh :class:`KeyFilter` instances.
@@ -115,13 +126,60 @@ class FilterFactory:
         self.name = name
         self._builder = builder
         self.bits_per_key = bits_per_key
+        self.salt_capable = _accepts_keyword(builder, "salt")
+        self._bits_capable = _accepts_keyword(builder, "bits_per_key")
 
-    def build(self, keys: Sequence[int]) -> KeyFilter:
-        """Build a populated filter over ``keys``."""
-        return self._builder(keys)
+    def build(
+        self,
+        keys: Sequence[int],
+        *,
+        salt: int = 0,
+        bits_per_key: float | None = None,
+    ) -> KeyFilter:
+        """Build a populated filter over ``keys``.
+
+        ``salt`` re-keys the filter's hashes (per-SST salting); passing a
+        nonzero salt to a recipe whose builder cannot accept one —
+        structural filters like SuRF hash nothing and cannot be re-keyed —
+        is a :class:`~repro.errors.FilterBuildError`, never silently
+        ignored.  ``bits_per_key`` overrides the recipe's memory budget
+        when the builder supports it (quarantined runs rebuild with bonus
+        bits) and is dropped otherwise.
+        """
+        kwargs = {}
+        if salt:
+            if not self.salt_capable:
+                raise FilterBuildError(
+                    f"filter recipe {self.name!r} cannot be salted: its "
+                    "builder accepts no 'salt' parameter (structural "
+                    "filters like SuRF derive their layout from the keys "
+                    "themselves and stay attackable; use a hashed filter "
+                    "or set filter_salt_seed=0)"
+                )
+            kwargs["salt"] = salt
+        if bits_per_key is not None and self._bits_capable:
+            kwargs["bits_per_key"] = bits_per_key
+        return self._builder(keys, **kwargs)
 
     def __repr__(self) -> str:
         return f"FilterFactory(name={self.name!r}, bits_per_key={self.bits_per_key})"
+
+
+def _accepts_keyword(builder: Callable, keyword: str) -> bool:
+    """Whether ``builder`` can be called with ``keyword=...``."""
+    try:
+        signature = inspect.signature(builder)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == keyword and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
 
 
 # ----------------------------------------------------------------------

@@ -32,7 +32,9 @@ class BloomPointFilter(KeyFilter):
 
     name = "bloom"
 
-    def __init__(self, key_bits: int = 64, bits_per_key: float = 10.0) -> None:
+    def __init__(
+        self, key_bits: int = 64, bits_per_key: float = 10.0, salt: int = 0
+    ) -> None:
         if key_bits < 1:
             raise FilterBuildError(f"key_bits must be >= 1, got {key_bits}")
         if bits_per_key < 0:
@@ -41,6 +43,7 @@ class BloomPointFilter(KeyFilter):
             )
         self.key_bits = key_bits
         self.bits_per_key = bits_per_key
+        self.salt = salt
         self._bloom: BloomFilter | None = None
         self._probes = 0
 
@@ -50,7 +53,9 @@ class BloomPointFilter(KeyFilter):
             raise FilterBuildError("BloomPointFilter is already populated")
         unique = sorted(set(int(k) for k in keys))
         num_bits = int(round(self.bits_per_key * len(unique)))
-        self._bloom = BloomFilter(num_bits, optimal_num_hashes(self.bits_per_key))
+        self._bloom = BloomFilter(
+            num_bits, optimal_num_hashes(self.bits_per_key), salt=self.salt
+        )
         for key in unique:
             self._bloom.add(key)
 
@@ -90,7 +95,14 @@ class BloomPointFilter(KeyFilter):
         """Reconstruct from :meth:`serialize` output."""
         filt = cls(key_bits=int.from_bytes(payload[:2], "little"))
         filt._bloom = BloomFilter.from_bytes(payload[2:])
+        filt.salt = filt._bloom.salt
         return filt
+
+    def design_fpr(self) -> float | None:
+        """The textbook Bloom FPR at the current fill ratio."""
+        if self._bloom is None:
+            return None
+        return self._bloom.expected_fpr()
 
     def probe_count(self) -> int:
         return self._probes

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
-from repro.core.hashing import hash_int, splitmix64
+from repro.core.hashing import hash_int, mix_salt, splitmix64
 from repro.errors import FilterBuildError, FilterQueryError
 from repro.filters.base import KeyFilter, register_filter_codec
 
@@ -22,6 +22,11 @@ __all__ = ["CuckooFilter"]
 _SLOTS_PER_BUCKET = 4
 _MAX_KICKS = 500
 _EMPTY = 0
+
+#: Historical hash seeds; a nonzero salt re-keys both via mix_salt so a
+#: rebuilt filter maps every key to fresh fingerprints and buckets.
+_FINGERPRINT_SEED = 0xF1A9
+_BUCKET_SEED = 0xB0C4
 
 
 def _next_power_of_two(value: int) -> int:
@@ -40,18 +45,26 @@ class CuckooFilter(KeyFilter):
         (``f ~= bits_per_key * load_factor``), clamped to [4, 16] bits.
     seed:
         Seed for the (deterministic) kick randomisation.
+    salt:
+        Re-keying salt mixed into both hash seeds (0 = the historical
+        unsalted hashes).
     """
 
     name = "cuckoo"
 
     def __init__(
-        self, key_bits: int = 64, bits_per_key: float = 10.0, seed: int = 7
+        self,
+        key_bits: int = 64,
+        bits_per_key: float = 10.0,
+        seed: int = 7,
+        salt: int = 0,
     ) -> None:
         if bits_per_key <= 0:
             raise FilterBuildError(f"bits_per_key must be > 0, got {bits_per_key}")
         self.key_bits = key_bits
         self.bits_per_key = bits_per_key
         self.seed = seed
+        self.salt = salt
         self.fingerprint_bits = max(4, min(16, int(bits_per_key * 0.95)))
         self._buckets: list[list[int]] | None = None
         self._probes = 0
@@ -60,11 +73,13 @@ class CuckooFilter(KeyFilter):
     # Hashing helpers
     # ------------------------------------------------------------------
     def _fingerprint(self, key: int) -> int:
-        fp = hash_int(key, seed=0xF1A9) & ((1 << self.fingerprint_bits) - 1)
+        seed = mix_salt(_FINGERPRINT_SEED, self.salt)
+        fp = hash_int(key, seed=seed) & ((1 << self.fingerprint_bits) - 1)
         return fp or 1  # reserve 0 for "empty slot"
 
     def _bucket_index(self, key: int) -> int:
-        return hash_int(key, seed=0xB0C4) % len(self._buckets)
+        seed = mix_salt(_BUCKET_SEED, self.salt)
+        return hash_int(key, seed=seed) % len(self._buckets)
 
     def _alt_index(self, index: int, fingerprint: int) -> int:
         return (index ^ splitmix64(fingerprint)) % len(self._buckets)
@@ -141,7 +156,13 @@ class CuckooFilter(KeyFilter):
         return len(buckets) * _SLOTS_PER_BUCKET * self.fingerprint_bits
 
     def serialize(self) -> bytes:
-        """Serialize headers plus fingerprint slots (2 bytes per slot)."""
+        """Serialize headers plus fingerprint slots (2 bytes per slot).
+
+        A nonzero salt is appended as an 8-byte little-endian trailer; the
+        slot count fully determines the unsalted payload length, so legacy
+        (pre-salting) payloads — which simply end after the slots — keep
+        loading as salt 0.
+        """
         buckets = self._require_populated()
         parts = [
             self.key_bits.to_bytes(2, "little"),
@@ -151,6 +172,8 @@ class CuckooFilter(KeyFilter):
         for bucket in buckets:
             for value in bucket:
                 parts.append(value.to_bytes(2, "little"))
+        if self.salt:
+            parts.append(self.salt.to_bytes(8, "little"))
         return b"".join(parts)
 
     @classmethod
@@ -167,6 +190,8 @@ class CuckooFilter(KeyFilter):
                 bucket.append(int.from_bytes(payload[offset : offset + 2], "little"))
                 offset += 2
             buckets.append(bucket)
+        if len(payload) >= offset + 8:
+            filt.salt = int.from_bytes(payload[offset : offset + 8], "little")
         filt._buckets = buckets
         return filt
 

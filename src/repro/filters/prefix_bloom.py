@@ -54,6 +54,7 @@ class PrefixBloomFilter(KeyFilter):
         prefix_bits: int | None = None,
         bits_per_key: float = 10.0,
         max_covering_prefixes: int = DEFAULT_MAX_COVERING_PREFIXES,
+        salt: int = 0,
     ) -> None:
         """``prefix_bits=None`` selects a density-aware length at populate
         time: ``ceil(log2(n)) + 2`` bits, i.e. ~4x as many prefix buckets as
@@ -75,6 +76,7 @@ class PrefixBloomFilter(KeyFilter):
         self.prefix_bits = prefix_bits
         self.bits_per_key = bits_per_key
         self.max_covering_prefixes = max_covering_prefixes
+        self.salt = salt
         self._bloom: BloomFilter | None = None
         self._probes = 0
 
@@ -97,7 +99,9 @@ class PrefixBloomFilter(KeyFilter):
         num_keys = len(set(int(k) for k in keys))
         num_bits = int(round(self.bits_per_key * num_keys))
         bits_per_item = num_bits / len(prefixes) if prefixes else 1.0
-        self._bloom = BloomFilter(num_bits, optimal_num_hashes(bits_per_item))
+        self._bloom = BloomFilter(
+            num_bits, optimal_num_hashes(bits_per_item), salt=self.salt
+        )
         for prefix in prefixes:
             self._bloom.add(prefix)
 
@@ -141,7 +145,14 @@ class PrefixBloomFilter(KeyFilter):
         prefix_bits = int.from_bytes(payload[2:4], "little")
         filt = cls(key_bits=key_bits, prefix_bits=prefix_bits)
         filt._bloom = BloomFilter.from_bytes(payload[4:])
+        filt.salt = filt._bloom.salt
         return filt
+
+    def design_fpr(self) -> float | None:
+        """Expected per-probe FPR of the prefix Bloom at its fill ratio."""
+        if self._bloom is None:
+            return None
+        return self._bloom.expected_fpr()
 
     def probe_count(self) -> int:
         return self._probes

@@ -22,11 +22,14 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.core.hashing import hash_int
+from repro.core.hashing import hash_int, mix_salt
 from repro.errors import FilterBuildError, FilterQueryError
 from repro.filters.base import KeyFilter, register_filter_codec
 
 __all__ = ["QuotientFilter"]
+
+#: Historical fingerprint seed; a nonzero salt re-keys it via mix_salt.
+_FINGERPRINT_SEED = 0x9F0C
 
 #: Target fraction of canonical slots in use after a build.
 _TARGET_LOAD = 0.75
@@ -54,7 +57,9 @@ class QuotientFilter(KeyFilter):
 
     name = "quotient"
 
-    def __init__(self, key_bits: int = 64, bits_per_key: float = 10.0) -> None:
+    def __init__(
+        self, key_bits: int = 64, bits_per_key: float = 10.0, salt: int = 0
+    ) -> None:
         if bits_per_key <= 4:
             raise FilterBuildError(
                 f"bits_per_key must exceed the 3 metadata bits + 1, "
@@ -62,6 +67,7 @@ class QuotientFilter(KeyFilter):
             )
         self.key_bits = key_bits
         self.bits_per_key = bits_per_key
+        self.salt = salt
         self.quotient_bits = 0
         self.remainder_bits = 0
         self._meta: list[int] | None = None  # 3 flag bits per slot
@@ -73,7 +79,8 @@ class QuotientFilter(KeyFilter):
     # ------------------------------------------------------------------
     def _fingerprint(self, key: int) -> tuple[int, int]:
         total_bits = self.quotient_bits + self.remainder_bits
-        fingerprint = hash_int(int(key), seed=0x9F0C) & ((1 << total_bits) - 1)
+        seed = mix_salt(_FINGERPRINT_SEED, self.salt)
+        fingerprint = hash_int(int(key), seed=seed) & ((1 << total_bits) - 1)
         return fingerprint >> self.remainder_bits, fingerprint & (
             (1 << self.remainder_bits) - 1
         )
@@ -195,6 +202,11 @@ class QuotientFilter(KeyFilter):
         for flags, remainder in zip(meta, self._remainders):
             parts.append(bytes([flags]))
             parts.append(remainder.to_bytes(width, "little"))
+        # Nonzero salts ride as an 8-byte trailer; the slot count fully
+        # determines the unsalted payload length, so legacy payloads
+        # (no trailer) keep loading as salt 0.
+        if self.salt:
+            parts.append(self.salt.to_bytes(8, "little"))
         return b"".join(parts)
 
     @classmethod
@@ -215,6 +227,8 @@ class QuotientFilter(KeyFilter):
                 int.from_bytes(payload[offset : offset + width], "little")
             )
             offset += width
+        if len(payload) >= offset + 8:
+            filt.salt = int.from_bytes(payload[offset : offset + 8], "little")
         filt._meta = meta
         filt._remainders = remainders
         return filt

@@ -32,6 +32,7 @@ class RosettaFilter(KeyFilter):
         max_range: int = 64,
         strategy: str = "optimized",
         range_size_histogram: Mapping[int, float] | None = None,
+        salt: int = 0,
     ) -> None:
         self.key_bits = key_bits
         self.bits_per_key = bits_per_key
@@ -40,6 +41,7 @@ class RosettaFilter(KeyFilter):
         self.range_size_histogram = (
             dict(range_size_histogram) if range_size_histogram else None
         )
+        self.salt = salt
         self._rosetta: Rosetta | None = None
 
     def populate(self, keys: Sequence[int]) -> None:
@@ -53,6 +55,7 @@ class RosettaFilter(KeyFilter):
             max_range=self.max_range,
             strategy=self.strategy,
             range_size_histogram=self.range_size_histogram,
+            salt=self.salt,
         )
 
     @property
@@ -103,9 +106,25 @@ class RosettaFilter(KeyFilter):
     def deserialize(cls, payload: bytes) -> "RosettaFilter":
         """Reconstruct from :meth:`serialize` output."""
         rosetta = Rosetta.from_bytes(payload)
-        filt = cls(key_bits=rosetta.key_bits)
+        filt = cls(key_bits=rosetta.key_bits, salt=rosetta.salt)
         filt._rosetta = rosetta
         return filt
+
+    def design_fpr(self) -> float | None:
+        """Predicted worst-case range FPR at the designed max range.
+
+        Conservative on purpose: the attack detector flags a run when the
+        observed FPR exceeds a multiple of this, so the anchor is the
+        largest range the filter was tuned for, not the (much lower) leaf
+        point-query FPR — benign range traffic must not look like an
+        attack.
+        """
+        if self._rosetta is None:
+            return None
+        core = self._rosetta
+        if core.num_keys == 0:
+            return None
+        return min(1.0, core.predicted_range_fpr(1 << core.max_height))
 
     def probe_count(self) -> int:
         if self._rosetta is None:

@@ -483,10 +483,22 @@ class SurfFilter(KeyFilter):
         variant: Variant = "real",
         suffix_bits: int = 8,
         bits_per_key: float | None = None,
+        salt: int = 0,
     ) -> None:
         if key_bits < 1 or key_bits % 8:
             raise FilterBuildError(
                 f"SurfFilter needs a byte-aligned key width, got {key_bits}"
+            )
+        if salt:
+            # SuRF is structural: the trie layout is a deterministic
+            # function of the key bytes, with no hash to re-key.  Reject
+            # loudly rather than silently building an unsalted (and thus
+            # still attackable) filter under a salted configuration.
+            raise FilterBuildError(
+                "SuRF cannot be salted: it is a structural filter (its "
+                "trie is derived from the keys, not from hashes), so "
+                "per-SST salting cannot re-key it and learned false "
+                "positives persist across rebuilds"
             )
         self.key_bits = key_bits
         self.variant = variant

@@ -78,18 +78,18 @@ jobs allocate file names concurrently; the conflict table has its own
 
 from __future__ import annotations
 
-import re
 import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.core.tuning import AutoTuner
 from repro.errors import PowerCutError, StoreError
 from repro.filters.base import FilterFactory
 from repro.lsm.block_cache import BlockCache
 from repro.lsm.env import StorageEnv
 from repro.lsm.filter_integration import FilterDictionary
-from repro.lsm.format import ValueTag
+from repro.lsm.format import ValueTag, sst_file_number
 from repro.lsm.iterators import MergingIterator
 from repro.lsm.options import DBOptions
 from repro.lsm.sstable import SSTReader, SSTWriter
@@ -142,12 +142,8 @@ class _InflightJob:
 
 #: ``sst_<level>_<number>.sst`` — the number is allocation order, so the
 #: lowest number in a window is its age (oldest-first window tiebreak).
-_SST_NUMBER = re.compile(r"^sst_\d+_(\d+)\.sst$")
-
-
-def _file_number(name: str) -> int:
-    match = _SST_NUMBER.match(name)
-    return int(match.group(1)) if match else 0
+#: Shared with SSTWriter, which mixes it into the per-file filter salt.
+_file_number = sst_file_number
 
 
 def _runs_span(runs: Iterable[Run]) -> tuple[bytes | None, bytes | None]:
@@ -173,6 +169,7 @@ class Compactor:
         cache: BlockCache,
         filter_dictionary: FilterDictionary,
         filter_factory_provider: Callable[[], FilterFactory | None] | None = None,
+        tuner_provider: Callable[[], AutoTuner | None] | None = None,
     ) -> None:
         self._env = env
         self._options = options
@@ -198,6 +195,9 @@ class Compactor:
         self._filter_factory_provider = filter_factory_provider or (
             lambda: options.filter_factory
         )
+        # Resolved per merge slice: quarantined inputs rebuild their
+        # filters with the tuner's attack bits bonus.
+        self._tuner_provider = tuner_provider or (lambda: None)
 
     def advance_file_number(self, past: int) -> None:
         """Never emit a file number <= ``past`` (recovery collision guard)."""
@@ -278,9 +278,95 @@ class Compactor:
                     for job in jobs:
                         job.debt_score = score
                     scored.append((score, level, jobs))
+        attacked = self._attacked_runs()
+        if attacked:
+            self._add_quarantine_candidates(version, scored, attacked)
         scored.sort(key=lambda entry: (-entry[0], entry[1]))
         for _, _, jobs in scored:
             yield from jobs
+
+    #: Weight pushing a quarantine rebuild ahead of every size-triggered
+    #: candidate but below L0 debt (stalled writers still come first): a
+    #: flagged filter leaks a device read per attack probe until rebuilt.
+    _ATTACK_DEBT_BONUS = 500_000.0
+
+    def _attacked_runs(self) -> frozenset[str]:
+        """Names of runs the FP-feedback detector currently flags."""
+        if self._filter_dictionary is None:
+            return frozenset()
+        return frozenset(self._filter_dictionary.under_attack_snapshot())
+
+    def _add_quarantine_candidates(
+        self,
+        version: Version,
+        scored: list[tuple[float, int, list[CompactionJob]]],
+        attacked: frozenset[str],
+    ) -> None:
+        """Prioritize merges that rebuild filters flagged as under attack.
+
+        Trigger-satisfying candidates whose inputs include a flagged run
+        get their debt boosted in place; flagged runs no candidate covers
+        get fresh jobs even though their level is under its trigger —
+        re-salting the filter is the defense, and only a rebuild applies
+        it.
+        """
+        covered: set[str] = set()
+        for index, (score, level, jobs) in enumerate(scored):
+            boosted = False
+            for job in jobs:
+                flagged = {
+                    run.name for run in job.inputs if run.name in attacked
+                }
+                if flagged:
+                    job.debt_score += self._ATTACK_DEBT_BONUS
+                    covered |= flagged
+                    boosted = True
+            if boosted:
+                scored[index] = (score + self._ATTACK_DEBT_BONUS, level, jobs)
+        remaining = attacked - covered
+        if remaining and any(
+            run.name in remaining for run in version.level0
+        ):
+            job = self.forced_l0_job(version)
+            if job is not None:
+                job.debt_score = self._ATTACK_DEBT_BONUS
+                scored.append((job.debt_score, 0, [job]))
+                remaining -= {run.name for run in job.inputs}
+        for level in range(1, self._options.num_levels - 1):
+            if not remaining:
+                return
+            runs = version.level_runs(level)
+            if not any(run.name in remaining for run in runs):
+                continue
+            if self._options.compaction_style == "tiered":
+                low, high = _runs_span(runs)
+                jobs = [
+                    CompactionJob(
+                        kind="tiered-level",
+                        inputs=runs,
+                        output_level=level + 1,
+                        drop_tombstones=self._tiered_bottom(
+                            version, level + 1
+                        ),
+                        source_level=level,
+                        range_low=low,
+                        range_high=high,
+                        debt_score=self._ATTACK_DEBT_BONUS,
+                    )
+                ]
+            else:
+                jobs = [
+                    job
+                    for job in self._leveled_window_jobs(version, level)
+                    if any(run.name in remaining for run in job.inputs)
+                ]
+                for job in jobs:
+                    job.debt_score = self._ATTACK_DEBT_BONUS
+            if jobs:
+                scored.append((self._ATTACK_DEBT_BONUS, level, jobs))
+                remaining -= {
+                    run.name for job in jobs for run in job.inputs
+                }
 
     def _leveled_window_jobs(
         self, version: Version, level: int
@@ -689,6 +775,7 @@ class Compactor:
         outputs: list[Run] = []
         writer: SSTWriter | None = None
         factory = self._filter_factory_provider()
+        bits_override = self._rebuild_bits_override(job, factory)
         for key, tag, value in merged:
             if low is not None and key < low:
                 continue
@@ -697,7 +784,9 @@ class Compactor:
             if job.drop_tombstones and tag == ValueTag.DELETE:
                 continue
             if writer is None:
-                writer = self._new_writer(job.output_level, factory)
+                writer = self._new_writer(
+                    job.output_level, factory, bits_override
+                )
             writer.add(key, tag, value)
             if writer.estimated_file_size >= self._options.sst_size_bytes:
                 outputs.append(self._finish_writer(writer, job.output_level))
@@ -758,14 +847,41 @@ class Compactor:
     # ------------------------------------------------------------------
     # Machinery
     # ------------------------------------------------------------------
+    def _rebuild_bits_override(
+        self, job: CompactionJob, factory: FilterFactory | None
+    ) -> float | None:
+        """Bits-per-key override for this job's output filters, or None.
+
+        When a job rebuilds a run flagged as under attack, the auto-tuner
+        grants the replacement filter its attack bits bonus on top of the
+        recipe's budget — re-salting breaks the attacker's learned FP set
+        and the extra bits lower the FPR ceiling of the next learning
+        round.
+        """
+        if factory is None or factory.bits_per_key is None:
+            return None
+        tuner = self._tuner_provider()
+        if tuner is None:
+            return None
+        attacked = self._attacked_runs()
+        if not attacked or not any(
+            run.name in attacked for run in job.inputs
+        ):
+            return None
+        return tuner.rebuild_bits_per_key(factory.bits_per_key, True)
+
     def _new_writer(
-        self, output_level: int, factory: FilterFactory | None
+        self,
+        output_level: int,
+        factory: FilterFactory | None,
+        filter_bits_per_key: float | None = None,
     ) -> SSTWriter:
         return SSTWriter(
             self._env,
             self.next_file_name(output_level),
             self._options,
             filter_factory=factory,
+            filter_bits_per_key=filter_bits_per_key,
         )
 
     def _finish_writer(self, writer: SSTWriter, output_level: int) -> Run:

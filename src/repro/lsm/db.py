@@ -179,6 +179,11 @@ class HealthReport:
     io_retries: int
     filters_degraded: int
     background_errors: int
+    #: Runs currently flagged by the FP-feedback attack detector, and the
+    #: same set as a gauge (cumulative flag events live in
+    #: ``PerfStats.filters_quarantined``).
+    attacked_filters: tuple[str, ...] = ()
+    filters_under_attack: int = 0
     stall_state: str = "none"
     pending_immutables: int = 0
     level0_runs: int = 0
@@ -192,7 +197,11 @@ class HealthReport:
     @property
     def ok(self) -> bool:
         """True when fully healthy (no degraded state of any kind)."""
-        return self.mode == "healthy" and not self.degraded_filters
+        return (
+            self.mode == "healthy"
+            and not self.degraded_filters
+            and not self.attacked_filters
+        )
 
     def summary(self) -> str:
         """One-line human-readable digest."""
@@ -202,6 +211,10 @@ class HealthReport:
         if self.degraded_filters:
             parts.append(
                 f"degraded_filters=[{', '.join(self.degraded_filters)}]"
+            )
+        if self.attacked_filters:
+            parts.append(
+                f"filters_under_attack=[{', '.join(self.attacked_filters)}]"
             )
         parts.append(
             f"io: {self.io_transient_errors} transient errors, "
@@ -243,14 +256,19 @@ class DB:
         self._filter_dictionary = FilterDictionary(
             enabled=self.options.use_filter_dictionary,
             degrade_corrupt=self.options.degrade_corrupt_filters,
+            quarantine=self.options.quarantine_filters,
+            quarantine_fpr_multiple=self.options.quarantine_fpr_multiple,
+            quarantine_min_probes=self.options.quarantine_min_probes,
         )
         self._current_filter_factory = self.options.filter_factory
+        self._auto_tuner = AutoTuner()
         self._compactor = Compactor(
             self._env,
             self.options,
             self._cache,
             self._filter_dictionary,
             filter_factory_provider=lambda: self._current_filter_factory,
+            tuner_provider=lambda: self._auto_tuner,
         )
 
         scheduler_factory = self.options.scheduler_factory
@@ -942,9 +960,11 @@ class DB:
             if self._background_error is not None:
                 return
             job = self._compactor.forced_l0_job(self._super.version)
-            if job is not None:
-                if self._run_compaction_guarded(job):
-                    self._settle_triggers()
+            if job is not None and not self._run_compaction_guarded(job):
+                return
+            # Settle even with an empty L0: quarantined runs at deeper
+            # levels plan rebuild jobs regardless of size triggers.
+            self._settle_triggers()
 
     def force_full_compaction(self) -> None:
         """Merge every run into the bottom-most populated level.
@@ -1019,6 +1039,7 @@ class DB:
             with self._job_lock:
                 jobs_in_flight = self._jobs_in_flight
             stats = self.stats.snapshot()
+            attacked = self._filter_dictionary.under_attack_snapshot()
             return HealthReport(
                 mode="degraded" if background_error is not None else "healthy",
                 background_error=background_error,
@@ -1027,6 +1048,8 @@ class DB:
                 io_retries=stats.io_retries,
                 filters_degraded=stats.filters_degraded,
                 background_errors=stats.background_errors,
+                attacked_filters=attacked,
+                filters_under_attack=len(attacked),
                 stall_state=stall_state,
                 pending_immutables=len(sv.immutables),
                 level0_runs=len(sv.version.level0),
@@ -1189,6 +1212,7 @@ class DB:
         if not verdict:
             self.stats.add(filter_negatives=1)
             self.tracker.record_filter_outcome(False, False)
+            self._note_filter_outcome(run, negatives=1)
         return verdict
 
     # ------------------------------------------------------------------
@@ -1352,13 +1376,14 @@ class DB:
                 filters, low, high
             )
         self.stats.add(filter_batch_probes=batch_sweeps)
-        for filt, effective in zip(filters, effectives):
+        for run, filt, effective in zip(runs, filters, effectives):
             if filt is None:
                 continue  # fence pointers already said "overlaps"
             self.stats.add(filter_probes=1)
             if effective is None:
                 self.stats.add(filter_negatives=1)
                 self.tracker.record_filter_outcome(False, False)
+                self._note_filter_outcome(run, negatives=1)
         return effectives
 
     def _record_filter_outcome(self, run: Run, positive: bool, truly: bool) -> None:
@@ -1367,6 +1392,27 @@ class DB:
                 self.stats.add(filter_true_positives=1)
             else:
                 self.stats.add(filter_false_positives=1)
+                self._note_filter_outcome(run, false_positives=1)
+
+    def _note_filter_outcome(
+        self, run: Run, *, negatives: int = 0, false_positives: int = 0
+    ) -> None:
+        """Feed a run's rejectable-query outcome to the attack detector.
+
+        No-op unless ``quarantine_filters`` is on, so the benign hot path
+        pays one attribute read.  A run newly flagged here bumps
+        ``filters_quarantined`` and, with background workers available,
+        kicks maintenance so the prioritized rebuild starts immediately.
+        """
+        if not self.options.quarantine_filters:
+            return
+        newly_flagged = self._filter_dictionary.record_outcome(
+            run.name, negatives=negatives, false_positives=false_positives
+        )
+        if newly_flagged:
+            self.stats.add(filters_quarantined=1)
+            if self._concurrent and self._background_error is None:
+                self._schedule_maintenance()
 
     def multi_get(self, keys: Iterable[int]) -> dict[int, bytes | None]:
         """Point-look-up many keys in one batched pass.
@@ -1489,6 +1535,8 @@ class DB:
             self.stats.add(filter_probes=len(keys), filter_negatives=negatives)
             for _ in range(negatives):
                 self.tracker.record_filter_outcome(False, False)
+            if negatives:
+                self._note_filter_outcome(run, negatives=negatives)
         return verdicts
 
     def iterator(
@@ -1561,8 +1609,22 @@ class DB:
         kwargs = decision.build_kwargs()
         key_bits = self.options.key_bits
 
-        def build(keys, _kwargs=kwargs, _bpk=bits_per_key, _kb=key_bits) -> KeyFilter:
-            filt = RosettaFilter(key_bits=_kb, bits_per_key=_bpk, **_kwargs)
+        def build(
+            keys,
+            salt=0,
+            bits_per_key=None,
+            _kwargs=kwargs,
+            _default_bpk=bits_per_key,
+            _kb=key_bits,
+        ) -> KeyFilter:
+            filt = RosettaFilter(
+                key_bits=_kb,
+                bits_per_key=(
+                    bits_per_key if bits_per_key is not None else _default_bpk
+                ),
+                salt=salt,
+                **_kwargs,
+            )
             filt.populate(keys)
             return filt
 

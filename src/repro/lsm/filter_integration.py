@@ -22,6 +22,7 @@ import threading
 from typing import Sequence
 
 from repro.core import doubting
+from repro.core.tuning import observed_fpr
 from repro.errors import SerializationError
 from repro.filters.base import KeyFilter, deserialize_filter
 from repro.filters.rosetta_adapter import RosettaFilter
@@ -47,9 +48,19 @@ class FilterDictionary:
     compacting the run away rebuilds a fresh filter and clears the mark.
     """
 
-    def __init__(self, enabled: bool = True, degrade_corrupt: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        degrade_corrupt: bool = True,
+        quarantine: bool = False,
+        quarantine_fpr_multiple: float = 8.0,
+        quarantine_min_probes: int = 50,
+    ) -> None:
         self.enabled = enabled
         self.degrade_corrupt = degrade_corrupt
+        self.quarantine = quarantine
+        self.quarantine_fpr_multiple = quarantine_fpr_multiple
+        self.quarantine_min_probes = quarantine_min_probes
         self._filters: dict[str, KeyFilter] = {}
         # Foreground queries and background compaction share the
         # dictionary; the lock keeps memoization and the degraded set
@@ -57,6 +68,15 @@ class FilterDictionary:
         self._lock = threading.RLock()
         #: Runs whose envelope proved undecodable (served filter-less).
         self.degraded: set[str] = set()
+        #: Runs flagged by the FP-feedback detector (§ adversarial
+        #: robustness): observed FPR exceeded the quarantine multiple of
+        #: the filter's design FPR.  Sticky until the run is compacted
+        #: away (the rebuild re-salts and re-sizes the filter).
+        self.under_attack: set[str] = set()
+        # Per-run rejectable-query outcomes: name -> [negatives, FPs].
+        self._outcomes: dict[str, list[int]] = {}
+        # Design FPR published by each run's filter, cached at fetch time.
+        self._design_fpr: dict[str, float] = {}
 
     def get_filter(self, reader: SSTReader, stats: PerfStats) -> KeyFilter | None:
         """Fetch (and memoize) the deserialized filter of an SST.
@@ -87,13 +107,57 @@ class FilterDictionary:
                 return None
             if self.enabled:
                 self._filters[name] = filt
+            if self.quarantine and name not in self._design_fpr:
+                design = filt.design_fpr()
+                if design is not None and design > 0.0:
+                    self._design_fpr[name] = design
             return filt
+
+    def record_outcome(
+        self, name: str, *, negatives: int = 0, false_positives: int = 0
+    ) -> bool:
+        """Feed one run's rejectable-query outcomes to the attack detector.
+
+        Returns True exactly once per run: the call that pushes the run's
+        observed FPR past ``quarantine_fpr_multiple`` times its design FPR
+        (with at least ``quarantine_min_probes`` rejectable queries seen),
+        adding it to :attr:`under_attack`.  No-op unless quarantine is on
+        and the run's filter published a design FPR.
+        """
+        if not self.quarantine:
+            return False
+        with self._lock:
+            design = self._design_fpr.get(name)
+            if design is None or name in self.under_attack:
+                return False
+            counts = self._outcomes.get(name)
+            if counts is None:
+                counts = [0, 0]
+                self._outcomes[name] = counts
+            counts[0] += negatives
+            counts[1] += false_positives
+            if counts[0] + counts[1] < self.quarantine_min_probes:
+                return False
+            if observed_fpr(counts[1], counts[0]) <= (
+                self.quarantine_fpr_multiple * design
+            ):
+                return False
+            self.under_attack.add(name)
+            return True
+
+    def under_attack_snapshot(self) -> tuple[str, ...]:
+        """Sorted consistent copy of the flagged-run set (see degraded)."""
+        with self._lock:
+            return tuple(sorted(self.under_attack))
 
     def drop_run(self, name: str) -> None:
         """Forget a run's filter (its SST was compacted away)."""
         with self._lock:
             self._filters.pop(name, None)
             self.degraded.discard(name)
+            self.under_attack.discard(name)
+            self._outcomes.pop(name, None)
+            self._design_fpr.pop(name, None)
 
     def degraded_snapshot(self) -> tuple[str, ...]:
         """Sorted consistent copy of the degraded-run set.

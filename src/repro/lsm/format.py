@@ -16,6 +16,7 @@ in-memory form of an index block is exactly the paper's fence pointers.
 
 from __future__ import annotations
 
+import re
 import struct
 import zlib
 from typing import Iterator, NamedTuple
@@ -31,7 +32,19 @@ __all__ = [
     "decode_data_block",
     "encode_index_block",
     "decode_index_block",
+    "sst_file_number",
 ]
+
+#: ``sst_<level>_<number>.sst`` — the number is allocation order.  The
+#: compaction picker uses it as run age; per-SST filter salting mixes it
+#: into the store's ``filter_salt_seed`` so every rebuild re-keys.
+_SST_NUMBER = re.compile(r"^sst_\d+_(\d+)\.sst$")
+
+
+def sst_file_number(name: str) -> int:
+    """Allocation number embedded in an SST file name (0 if unparsable)."""
+    match = _SST_NUMBER.match(name)
+    return int(match.group(1)) if match else 0
 
 
 class ValueTag:

@@ -68,6 +68,31 @@ class DBOptions:
     #: Filter recipe applied to every new SST (None = fence pointers only).
     filter_factory: FilterFactory | None = None
 
+    # -- Adversarial robustness -----------------------------------------
+    #: Store-wide seed for per-SST filter salting.  0 (default) disables
+    #: salting and keeps filter blocks byte-identical to the historical
+    #: format.  Nonzero: every SST's filter hashes are re-keyed with
+    #: ``derive_filter_salt(seed, file_number)``, so a compaction rebuild
+    #: (fresh file number) invalidates any false positives an adversary
+    #: has learned.  Requires a salt-capable (hashed) filter recipe;
+    #: structural recipes like SuRF are rejected at build time.
+    filter_salt_seed: int = 0
+
+    #: Enable the FP-feedback attack detector: per-run false-positive
+    #: counters in the filter dictionary flag runs whose observed FPR
+    #: exceeds ``quarantine_fpr_multiple`` times their design FPR.
+    #: Flagged runs surface in ``DB.health()`` and their compaction is
+    #: prioritized so the (salted) rebuild clears the attack.
+    quarantine_filters: bool = False
+
+    #: Observed-FPR multiple of the design FPR at which a run is flagged.
+    quarantine_fpr_multiple: float = 8.0
+
+    #: Minimum rejectable probes (negatives + false positives) a run must
+    #: accumulate before it can be flagged — keeps small-sample noise from
+    #: quarantining healthy filters.
+    quarantine_min_probes: int = 50
+
     #: Block cache capacity in bytes (0 disables caching).
     block_cache_bytes: int = 8 << 20
 
@@ -197,6 +222,27 @@ class DBOptions:
                 f"compaction_style must be 'leveled' or 'tiered', "
                 f"got {self.compaction_style!r}"
             )
+        if not 0 <= self.filter_salt_seed < 1 << 64:
+            raise InvalidOptionsError(
+                f"filter_salt_seed must be a 64-bit value, "
+                f"got {self.filter_salt_seed}"
+            )
+        if (
+            self.filter_salt_seed
+            and self.filter_factory is not None
+            and not self.filter_factory.salt_capable
+        ):
+            raise InvalidOptionsError(
+                f"filter_salt_seed is set but filter recipe "
+                f"{self.filter_factory.name!r} is not salt-capable "
+                "(structural filters like SuRF cannot be re-keyed)"
+            )
+        if self.quarantine_fpr_multiple <= 1.0:
+            raise InvalidOptionsError(
+                "quarantine_fpr_multiple must be > 1.0"
+            )
+        if self.quarantine_min_probes < 1:
+            raise InvalidOptionsError("quarantine_min_probes must be >= 1")
         if self.io_retry_attempts < 0:
             raise InvalidOptionsError("io_retry_attempts must be >= 0")
         if self.io_retry_backoff_ns < 0:

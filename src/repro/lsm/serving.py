@@ -178,11 +178,19 @@ class ServingHealth:
     ``queue_depths`` are the live per-shard request-queue lengths (the
     serving layer's own debt gauge, alongside each shard's
     ``pending_immutables``/``level0_runs``).
+
+    ``filters_degraded`` / ``filters_under_attack`` aggregate the shard
+    reports' filter-fault gauges, so a fleet operator sees at a glance
+    whether any shard is serving unreadable filters or absorbing an
+    FP-replay attack; the per-shard reports name the affected runs,
+    which identifies the targeted shard.
     """
 
     mode: str
     shards: tuple[HealthReport, ...]
     queue_depths: tuple[int, ...]
+    filters_degraded: int = 0
+    filters_under_attack: int = 0
 
     @property
     def ok(self) -> bool:
@@ -192,10 +200,21 @@ class ServingHealth:
     def summary(self) -> str:
         """One-line human-readable digest."""
         degraded = sum(1 for r in self.shards if r.mode != "healthy")
-        return (
+        line = (
             f"mode={self.mode}; {len(self.shards)} shards "
             f"({degraded} degraded); queues={list(self.queue_depths)}"
         )
+        if self.filters_under_attack:
+            attacked_shards = [
+                index
+                for index, report in enumerate(self.shards)
+                if report.filters_under_attack
+            ]
+            line += (
+                f"; filters_under_attack={self.filters_under_attack} "
+                f"(shards {attacked_shards})"
+            )
+        return line
 
 
 class _ScatterSink:
@@ -683,6 +702,12 @@ class ShardedServer:
             shards=reports,
             queue_depths=tuple(
                 shard.queue_depth() for shard in self._shards
+            ),
+            filters_degraded=sum(
+                len(r.degraded_filters) for r in reports
+            ),
+            filters_under_attack=sum(
+                r.filters_under_attack for r in reports
             ),
         )
 

@@ -27,6 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.core.hashing import derive_filter_salt
 from repro.errors import CorruptionError, FilterBuildError
 from repro.filters.base import FilterFactory, KeyFilter, serialize_envelope
 from repro.lsm.block_cache import BlockCache
@@ -38,6 +39,7 @@ from repro.lsm.format import (
     decode_data_block,
     decode_index_block,
     encode_index_block,
+    sst_file_number,
 )
 from repro.lsm.options import DBOptions
 from repro.lsm.stats import Stopwatch
@@ -77,6 +79,7 @@ class SSTWriter:
         name: str,
         options: DBOptions,
         filter_factory: FilterFactory | None = None,
+        filter_bits_per_key: float | None = None,
     ) -> None:
         self._env = env
         self.name = name
@@ -84,6 +87,17 @@ class SSTWriter:
         self._filter_factory = (
             filter_factory if filter_factory is not None else options.filter_factory
         )
+        # Per-file salt: the store seed mixed with this file's allocation
+        # number, so every flush/compaction output probes with a hash
+        # family an FP-replay attacker has never observed.  Zero (the
+        # default seed) keeps filters byte-identical to the unsalted
+        # format.
+        self._filter_salt = derive_filter_salt(
+            options.filter_salt_seed, sst_file_number(name)
+        )
+        # Optional bits-per-key override for this file's filter (the
+        # quarantine rebuild path grants flagged runs extra bits).
+        self._filter_bits_per_key = filter_bits_per_key
         self._blocks: list[bytes] = []
         self._index: list[tuple[bytes, int]] = []  # (last key, block length)
         self._builder = DataBlockBuilder(options.block_restart_interval)
@@ -150,7 +164,11 @@ class SSTWriter:
         filter_block = b""
         if self._filter_factory is not None:
             with Stopwatch(stats, "filter_construction_ns"):
-                filt = self._filter_factory.build(self._int_keys)
+                filt = self._filter_factory.build(
+                    self._int_keys,
+                    salt=self._filter_salt,
+                    bits_per_key=self._filter_bits_per_key,
+                )
             stats.add(filters_built=1)
             with Stopwatch(stats, "serialize_ns"):
                 filter_block = serialize_envelope(filt)

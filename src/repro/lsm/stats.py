@@ -30,6 +30,8 @@ import threading
 import time
 from dataclasses import dataclass, fields
 
+from repro.core.tuning import observed_fpr as _observed_fpr
+
 __all__ = ["PerfStats", "Stopwatch"]
 
 
@@ -49,6 +51,7 @@ class PerfStats:
     io_transient_errors: int = 0  # TransientIOError observed (incl. retried)
     io_retries: int = 0           # read attempts re-issued after one
     filters_degraded: int = 0     # runs whose filter envelope was unreadable
+    filters_quarantined: int = 0  # runs flagged as under FP replay attack
     background_errors: int = 0    # flush/compaction failures -> degraded mode
 
     # --- Write backpressure ---
@@ -155,12 +158,13 @@ class PerfStats:
 
         Matches the paper's convention of evaluating filters on empty
         queries: among queries the filter *could* have rejected, the share
-        it failed to.
+        it failed to.  Delegates to the shared
+        :func:`repro.core.tuning.observed_fpr` helper so this, the
+        workload tracker, and the attack detector agree by construction.
         """
-        rejectable = self.filter_negatives + self.filter_false_positives
-        if rejectable == 0:
-            return 0.0
-        return self.filter_false_positives / rejectable
+        return _observed_fpr(
+            self.filter_false_positives, self.filter_negatives
+        )
 
     @property
     def cpu_ns(self) -> int:

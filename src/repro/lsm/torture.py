@@ -84,6 +84,11 @@ class TortureConfig:
     #: several single-run jobs with disjoint footprints — the shape that
     #: exercises two leveled compactions in flight in one level pair.
     max_compaction_input_files: int = 4
+    #: Per-SST filter-salting seed (0 = unsalted, the historical format).
+    #: Salted configs prove the salt survives power cuts: it rides in the
+    #: filter envelope inside the SST, so a recovered store probes every
+    #: surviving run with the exact hash family it was built with.
+    filter_salt_seed: int = 0
 
 
 def torture_options(
@@ -92,8 +97,10 @@ def torture_options(
     """A deliberately tiny store: every schedule crosses flush/compaction."""
     factory = None
     if config.with_filters:
-        def build(keys):
-            filt = RosettaFilter(key_bits=32, bits_per_key=14.0, max_range=32)
+        def build(keys, salt=0):
+            filt = RosettaFilter(
+                key_bits=32, bits_per_key=14.0, max_range=32, salt=salt
+            )
             filt.populate(keys)
             return filt
 
@@ -111,6 +118,7 @@ def torture_options(
         compaction_style=config.compaction_style,
         max_compaction_input_files=config.max_compaction_input_files,
         filter_factory=factory,
+        filter_salt_seed=config.filter_salt_seed,
         io_retry_attempts=config.io_retry_attempts,
         env_factory=env_factory,
     )

@@ -4,6 +4,7 @@ Key sets (uniform / normal-skewed / string corpora), YCSB-E-style query
 mixes, empty-query construction, and θ-correlated workloads.
 """
 
+from repro.workloads.adversarial import AdversarialAttacker, AttackReport
 from repro.workloads.correlation import correlated_range_queries, correlation_sweep
 from repro.workloads.distributions import (
     normal_keys,
@@ -21,6 +22,8 @@ from repro.workloads.strings import (
 from repro.workloads.ycsb import Query, Workload, WorkloadBuilder
 
 __all__ = [
+    "AdversarialAttacker",
+    "AttackReport",
     "Dataset",
     "Query",
     "StringKeyCodec",

@@ -1,0 +1,302 @@
+"""Adversarial FP-attack workload generator.
+
+A filter tells an attacker something every time it is wrong: a query that
+returns empty yet costs a device read just revealed a false positive, and
+because a Bloom-backed filter is deterministic, *that exact query is a
+false positive forever* (until the filter is rebuilt with a different
+hash family).  An adversary can therefore probe cheaply, remember the
+queries the filter failed to reject, and replay them in a tight loop —
+converting a filter designed for a ~1% FPR into one that eats a device
+read on ~100% of the attacker's traffic.
+
+:class:`AdversarialAttacker` implements that loop against a
+:class:`repro.lsm.db.DB` (or any object with the same ``get`` /
+``range_query`` / ``stats`` surface):
+
+* **learn** — probe random absent point keys and random dyadic-aligned
+  ranges, keeping every query classified as a false positive;
+* **escalate** — replay the learned set in rounds of multiplying
+  pressure, the way a real attacker amortizes a short learning phase
+  over an arbitrarily long replay phase.
+
+Two FP classifiers:
+
+* ``mode="oracle"`` reads ``db.stats.filter_false_positives`` around each
+  probe — the white-box upper bound (an insider, or a co-tenant reading
+  exported metrics).  Assumes the attacker is the only client while
+  probing, which is exactly the benchmark setting.
+* ``mode="blackbox"`` classifies by wall-clock latency alone: a rejected
+  query never touches a data block, a false positive does, so empty
+  results split into a fast and a slow cluster.  The threshold is
+  calibrated from the attacker's own probe latencies (no cooperation
+  from the store), making this the realistic remote attacker.
+
+The defenses this generator exists to evaluate (per-SST filter salting,
+FP-feedback quarantine) live in :mod:`repro.lsm`; the attack itself never
+needs more than the public query API plus, in oracle mode, the stats
+counters.
+"""
+
+from __future__ import annotations
+
+import statistics
+import random
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import WorkloadError
+
+__all__ = ["AdversarialAttacker", "AttackReport"]
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Outcome of one full attack (learning + escalating replay)."""
+
+    mode: str
+    learn_probes: int
+    learned_points: tuple[int, ...]
+    learned_ranges: tuple[tuple[int, int], ...]
+    replay_rounds: int
+    replay_probes: int
+    replay_false_positives: int
+
+    @property
+    def replay_fpr(self) -> float:
+        """Share of replayed (empty) queries that cost a device read."""
+        if self.replay_probes == 0:
+            return 0.0
+        return self.replay_false_positives / self.replay_probes
+
+    @property
+    def learned(self) -> int:
+        """Total learned FP-triggering queries (points + ranges)."""
+        return len(self.learned_points) + len(self.learned_ranges)
+
+
+class AdversarialAttacker:
+    """Learns FP-triggering queries against a store and replays them.
+
+    Parameters
+    ----------
+    db:
+        The store under attack (``get``/``range_query``; ``stats`` with a
+        ``filter_false_positives`` counter in oracle mode).
+    key_bits:
+        Width of the key domain; defaults to ``db.options.key_bits``.
+    mode:
+        ``"oracle"`` (stats-delta classifier) or ``"blackbox"``
+        (latency-threshold classifier).
+    avoid:
+        Keys known to be stored — probes landing on them are skipped, so
+        every issued query is genuinely empty.  Optional; a probe that
+        returns data is discarded either way.
+    latency_threshold_ns:
+        Fixed black-box decision threshold.  When omitted it is
+        calibrated as ``blackbox_threshold_factor`` times the median
+        latency of the first ``blackbox_calibration_probes`` empty
+        probes (most of which are true negatives at any sane FPR).
+    """
+
+    def __init__(
+        self,
+        db,
+        key_bits: int | None = None,
+        mode: str = "oracle",
+        seed: int = 0,
+        avoid: Iterable[int] | None = None,
+        latency_threshold_ns: float | None = None,
+        blackbox_calibration_probes: int = 64,
+        blackbox_threshold_factor: float = 4.0,
+    ) -> None:
+        if mode not in ("oracle", "blackbox"):
+            raise WorkloadError(
+                f"unknown attack mode {mode!r}; expected 'oracle' or 'blackbox'"
+            )
+        self._db = db
+        self._key_bits = (
+            key_bits if key_bits is not None else db.options.key_bits
+        )
+        if self._key_bits < 1:
+            raise WorkloadError(f"key_bits must be >= 1, got {self._key_bits}")
+        self._mode = mode
+        self._rng = random.Random(seed)
+        self._avoid = frozenset(int(k) for k in avoid) if avoid else frozenset()
+        self._threshold_ns = latency_threshold_ns
+        self._calibration_budget = blackbox_calibration_probes
+        self._threshold_factor = blackbox_threshold_factor
+        self._calibration_ns: list[int] = []
+        self.probes_issued = 0
+        self.learned_points: list[int] = []
+        self.learned_ranges: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # FP classification
+    # ------------------------------------------------------------------
+    def _probe_point(self, key: int) -> bool:
+        """Issue ``get(key)``; True when classified as a false positive."""
+        if self._mode == "oracle":
+            before = self._db.stats.filter_false_positives
+            value = self._db.get(key)
+            self.probes_issued += 1
+            if value is not None:
+                return False
+            return self._db.stats.filter_false_positives > before
+        started = time.perf_counter_ns()
+        value = self._db.get(key)
+        elapsed = time.perf_counter_ns() - started
+        self.probes_issued += 1
+        if value is not None:
+            return False
+        return self._classify_latency(elapsed)
+
+    def _probe_range(self, low: int, high: int) -> bool:
+        """Issue ``range_query``; True when classified as a false positive."""
+        if self._mode == "oracle":
+            before = self._db.stats.filter_false_positives
+            results = self._db.range_query(low, high)
+            self.probes_issued += 1
+            if results:
+                return False
+            return self._db.stats.filter_false_positives > before
+        started = time.perf_counter_ns()
+        results = self._db.range_query(low, high)
+        elapsed = time.perf_counter_ns() - started
+        self.probes_issued += 1
+        if results:
+            return False
+        return self._classify_latency(elapsed)
+
+    def _classify_latency(self, elapsed_ns: int) -> bool:
+        """Black-box classifier: empty-but-slow means a false positive.
+
+        The first ``blackbox_calibration_probes`` empty probes only feed
+        the calibration sample (classified negative): at design FPR the
+        sample median is a true-negative latency, and anything several
+        times slower did real block work.
+        """
+        if self._threshold_ns is None:
+            self._calibration_ns.append(elapsed_ns)
+            if len(self._calibration_ns) < self._calibration_budget:
+                return False
+            self._threshold_ns = self._threshold_factor * statistics.median(
+                self._calibration_ns
+            )
+            return False
+        return elapsed_ns >= self._threshold_ns
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def _random_absent_key(self) -> int:
+        domain = 1 << self._key_bits
+        for _ in range(64):
+            key = self._rng.randrange(domain)
+            if key not in self._avoid:
+                return key
+        raise WorkloadError(
+            "could not sample an absent key in 64 draws; pass a smaller "
+            "'avoid' set or widen key_bits"
+        )
+
+    def learn_points(self, probes: int) -> list[int]:
+        """Probe ``probes`` random absent keys; remember the FP hits."""
+        found: list[int] = []
+        for _ in range(probes):
+            key = self._random_absent_key()
+            if self._probe_point(key):
+                found.append(key)
+        self.learned_points.extend(found)
+        return found
+
+    def learn_ranges(self, probes: int, range_size: int = 8) -> list[tuple[int, int]]:
+        """Probe ``probes`` random dyadic-aligned empty ranges.
+
+        ``range_size`` is rounded up to a power of two and each probe is
+        aligned to it, so every learned range maps onto exactly the
+        dyadic intervals a Rosetta stack probes — the attacker replays
+        the very prefixes whose Bloom probes false-positived.
+        """
+        if probes < 0:
+            raise WorkloadError(f"probes must be >= 0, got {probes}")
+        size = 1
+        while size < max(1, range_size):
+            size <<= 1
+        domain = 1 << self._key_bits
+        found: list[tuple[int, int]] = []
+        for _ in range(probes):
+            low = self._rng.randrange(max(1, domain // size)) * size
+            high = min(low + size - 1, domain - 1)
+            if any(low <= key <= high for key in self._avoid):
+                continue
+            if self._probe_range(low, high):
+                found.append((low, high))
+        self.learned_ranges.extend(found)
+        return found
+
+    # ------------------------------------------------------------------
+    # Escalating replay
+    # ------------------------------------------------------------------
+    def replay(
+        self, rounds: int = 3, pressure: int = 2, max_probes: int = 100_000
+    ) -> tuple[int, int]:
+        """Replay the learned set with multiplying per-round pressure.
+
+        Round ``r`` (0-based) replays every learned query
+        ``pressure ** r`` times, stopping at ``max_probes`` total.
+        Returns ``(replay_probes, replay_false_positives)``; against an
+        undefended store the FP count tracks the probe count one-for-one
+        because the learned queries are deterministic repeat offenders.
+        """
+        if rounds < 0:
+            raise WorkloadError(f"rounds must be >= 0, got {rounds}")
+        if pressure < 1:
+            raise WorkloadError(f"pressure must be >= 1, got {pressure}")
+        probes = 0
+        hits = 0
+        for round_index in range(rounds):
+            repeats = pressure ** round_index
+            for _ in range(repeats):
+                for key in self.learned_points:
+                    if probes >= max_probes:
+                        return probes, hits
+                    probes += 1
+                    if self._probe_point(key):
+                        hits += 1
+                for low, high in self.learned_ranges:
+                    if probes >= max_probes:
+                        return probes, hits
+                    probes += 1
+                    if self._probe_range(low, high):
+                        hits += 1
+        return probes, hits
+
+    def run(
+        self,
+        point_probes: int = 400,
+        range_probes: int = 200,
+        range_size: int = 8,
+        replay_rounds: int = 3,
+        replay_pressure: int = 2,
+        max_replay_probes: int = 100_000,
+    ) -> AttackReport:
+        """Full attack: learn points and ranges, then escalate replay."""
+        learn_start = self.probes_issued
+        self.learn_points(point_probes)
+        self.learn_ranges(range_probes, range_size)
+        learn_probes = self.probes_issued - learn_start
+        replay_probes, replay_hits = self.replay(
+            rounds=replay_rounds,
+            pressure=replay_pressure,
+            max_probes=max_replay_probes,
+        )
+        return AttackReport(
+            mode=self._mode,
+            learn_probes=learn_probes,
+            learned_points=tuple(self.learned_points),
+            learned_ranges=tuple(self.learned_ranges),
+            replay_rounds=replay_rounds,
+            replay_probes=replay_probes,
+            replay_false_positives=replay_hits,
+        )

@@ -89,10 +89,8 @@ class TestMembership:
         bf.add(65)
         # The byte b"A" (ASCII 65) should not automatically be present.
         # (Not guaranteed absent — it's probabilistic — but hashes differ.)
-        from repro.core.bloom import BloomFilter as BF
-
-        h_int = BF._base_hashes(65)
-        h_bytes = BF._base_hashes(b"A")
+        h_int = bf._base_hashes(65)
+        h_bytes = bf._base_hashes(b"A")
         assert h_int != h_bytes
 
 

@@ -30,7 +30,9 @@ class TestWorkloadTracker:
         tracker.record_filter_outcome(True, False)   # false positive
         tracker.record_filter_outcome(False, False)  # negative
         tracker.record_filter_outcome(False, False)
-        assert tracker.observed_false_positive_rate == pytest.approx(0.25)
+        # Rejectable-query convention: FP / (FP + negatives); the true
+        # positive does not enter the denominator.
+        assert tracker.observed_false_positive_rate == pytest.approx(1 / 3)
 
     def test_fpr_with_no_data(self):
         assert WorkloadTracker().observed_false_positive_rate == 0.0

@@ -34,7 +34,10 @@ __all__ = ["Rule", "Violation", "check_source", "check_file", "main", "RULES"]
 
 #: Method calls on a protected attribute that mutate it in place.
 _MUTATORS = frozenset(
-    {"append", "remove", "pop", "clear", "extend", "insert", "update"}
+    {
+        "append", "remove", "pop", "clear", "extend", "insert", "update",
+        "add", "discard",
+    }
 )
 
 
@@ -106,6 +109,17 @@ RULES: dict[str, dict[str, Rule]] = {
     "ShardedServer": {
         "_closed": _rule((), ("__init__", "close")),
         "_shards": _rule((), ("__init__",)),
+    },
+    # Filter dictionary (repro.lsm.filter_integration): the memoization
+    # map, the degraded set, and the attack detector's flag set + counters
+    # are shared between foreground queries and background compaction;
+    # all of them live under the dictionary's own _lock.
+    "FilterDictionary": {
+        "_filters": _rule(("_lock",), ("__init__",)),
+        "degraded": _rule(("_lock",), ("__init__",)),
+        "under_attack": _rule(("_lock",), ("__init__",)),
+        "_outcomes": _rule(("_lock",), ("__init__",)),
+        "_design_fpr": _rule(("_lock",), ("__init__",)),
     },
 }
 
@@ -256,6 +270,7 @@ _TARGETS = (
     os.path.join("src", "repro", "lsm", "db.py"),
     os.path.join("src", "repro", "lsm", "compaction.py"),
     os.path.join("src", "repro", "lsm", "serving.py"),
+    os.path.join("src", "repro", "lsm", "filter_integration.py"),
 )
 
 
