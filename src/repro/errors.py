@@ -94,5 +94,55 @@ class CompactionError(StoreError):
     """A background compaction failed."""
 
 
+class ServingError(StoreError):
+    """Base class for serving-layer (:class:`ShardedServer`) failures.
+
+    Every caller-visible way the front-end can fail a request is a typed
+    subclass of this, so a client can write one ``except ServingError``
+    handler (retry, redirect, degrade) and never see a hang or an
+    anonymous ``Exception`` from the serving layer.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline expired before the serving layer resolved it.
+
+    Deadlines are enforced at dequeue: an expired request fails fast with
+    this error instead of occupying a batch, and a submitter blocked on a
+    full queue gives up when its deadline passes.  The request may or may
+    not have reached the shard's DB; reads have no side effects and
+    writes are rejected before application, so retrying is always safe.
+    """
+
+
+class QueueFullError(ServingError):
+    """A submit was shed because the shard queue sat at ``max_queue_depth``.
+
+    Only raised under ``ServingOptions.queue_policy = "shed"`` — the
+    load-shedding alternative to blocking the submitter.  The request was
+    rejected immediately and had no side effects.
+    """
+
+
+class ShardUnavailableError(ServingError):
+    """A request was fast-failed by a shard's open circuit breaker.
+
+    The shard either parked in degraded mode (writes fail fast while the
+    supervisor retries ``DB.resume()`` with backoff) or lost its drain
+    worker (reads and writes fail fast until the supervisor restarts it —
+    or permanently, once the restart budget is exhausted).
+    """
+
+
+class WorkerCrashedError(ServingError):
+    """A shard's drain worker crashed with this request queued or in flight.
+
+    The crash handler fails every stranded request with this error and
+    wakes all blocked submitters, so nothing waits on a dead worker.  The
+    request's effects (if any) are unknown only for writes — and writes
+    never queue, so in practice the request did not execute.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload generator received inconsistent parameters."""

@@ -409,7 +409,9 @@ class DB:
             self._check_open()
             self._apply_backpressure()
             if self._active_wal is not None:
-                self._active_wal.append_put(encoded, value)
+                self._guard_wal_append(
+                    lambda: self._active_wal.append_put(encoded, value)
+                )
             self._super.active.put(encoded, bytes(value))
             self.stats.add(writes=1)
             self._maybe_seal()
@@ -423,7 +425,9 @@ class DB:
             self._check_open()
             self._apply_backpressure()
             if self._active_wal is not None:
-                self._active_wal.append_delete(encoded)
+                self._guard_wal_append(
+                    lambda: self._active_wal.append_delete(encoded)
+                )
             self._super.active.delete(encoded)
             self.stats.add(writes=1)
             self._maybe_seal()
@@ -455,7 +459,9 @@ class DB:
             self._check_open()
             self._apply_backpressure()
             if self._active_wal is not None:
-                self._active_wal.append_batch(batch.encode())
+                self._guard_wal_append(
+                    lambda: self._active_wal.append_batch(batch.encode())
+                )
             active = self._super.active
             for tag, key, value in batch:
                 if tag == ValueTag.PUT:
@@ -1006,6 +1012,28 @@ class DB:
             self._enter_background_error(op, exc)
             return False
 
+    def _guard_wal_append(self, append: Callable[[], None]) -> None:
+        """Run a foreground WAL append; on I/O failure park, don't leak.
+
+        A failed WAL append means durability is gone for this write, so
+        the memtable is left untouched (nothing is acked that the log
+        cannot replay) and the store parks in degraded read-only mode —
+        the same state machine as a failed background write — surfacing
+        the typed :class:`ReadOnlyStoreError` instead of a raw
+        ``OSError``.  Simulated power cuts propagate untouched, as
+        everywhere.
+        """
+        try:
+            append()
+        except PowerCutError:
+            raise
+        except OSError as exc:
+            self._enter_background_error("wal-append", exc)
+            raise ReadOnlyStoreError(
+                f"WAL append failed; store parked read-only "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+
     def _enter_background_error(self, op: str, exc: BaseException) -> None:
         with self._mutex:
             self._background_error = f"{op}: {type(exc).__name__}: {exc}"
@@ -1018,6 +1046,18 @@ class DB:
                 f"store is in degraded read-only mode after a background "
                 f"error ({self._background_error}); call resume() to retry"
             )
+
+    @property
+    def background_error(self) -> str | None:
+        """The current background-error string, or None when healthy.
+
+        A cheap single-field read under ``_mutex`` — the serving layer's
+        shard supervisor polls this every tick to catch degraded-mode
+        flips without paying for a full :meth:`health` snapshot (which
+        pins a superversion and snapshots every counter).
+        """
+        with self._mutex:
+            return self._background_error
 
     def health(self) -> HealthReport:
         """The store's current fault state (always readable, never raises).
